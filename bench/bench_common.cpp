@@ -1,0 +1,185 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "common/table.hpp"
+
+namespace dasbench {
+
+using namespace das;
+
+core::ClusterConfig eval_config() {
+  core::ClusterConfig cfg;
+  cfg.num_servers = 32;
+  cfg.num_clients = 8;
+  cfg.keys_per_server = 1000;
+  cfg.zipf_theta = 0.0;
+  cfg.load_calibration = core::LoadCalibration::kAverageCapacity;
+  cfg.fanout = make_geometric(0.125, 128);  // mean 8, heavy tail
+  cfg.target_load = 0.7;
+  cfg.seed = 20260705;
+  return cfg;
+}
+
+core::RunWindow eval_window() {
+  core::RunWindow w;
+  w.warmup_us = 30.0 * kMillisecond;
+  w.measure_us = 200.0 * kMillisecond;
+  return w;
+}
+
+const std::vector<sched::Policy>& headline_policies() {
+  static const std::vector<sched::Policy> kSet = {
+      sched::Policy::kFcfs,    sched::Policy::kSjf,
+      sched::Policy::kReqSrpt, sched::Policy::kReinSbf,
+      sched::Policy::kDas,
+  };
+  return kSet;
+}
+
+Collector& Collector::instance() {
+  static Collector collector;
+  return collector;
+}
+
+const core::ExperimentResult& Collector::run(const std::string& experiment,
+                                             const std::string& point,
+                                             sched::Policy policy,
+                                             const core::ClusterConfig& cfg,
+                                             const core::RunWindow& window) {
+  const std::string key = experiment + '|' + point + '|' + sched::to_string(policy);
+  const auto it = index_.find(key);
+  if (it != index_.end()) return rows_[it->second].result;
+
+  core::ClusterConfig run_cfg = cfg;
+  run_cfg.policy = policy;
+  Row row;
+  row.experiment = experiment;
+  row.point = point;
+  row.policy = policy;
+  row.result = core::run_experiment(run_cfg, window);
+  index_.emplace(key, rows_.size());
+  rows_.push_back(std::move(row));
+  return rows_.back().result;
+}
+
+double Collector::metric_value(const core::ExperimentResult& r,
+                               const std::string& metric) const {
+  if (metric == "mean") return r.rct.mean;
+  if (metric == "p50") return r.rct.p50;
+  if (metric == "p95") return r.rct.p95;
+  if (metric == "p99") return r.rct.p99;
+  if (metric == "p999") return r.rct.p999;
+  if (metric == "op_mean") return r.op_latency.mean;
+  if (metric == "util") return r.mean_server_utilization;
+  if (metric == "max_util") return r.max_server_utilization;
+  if (metric == "progress_msgs") return static_cast<double>(r.progress_messages);
+  if (metric == "net_msgs") return static_cast<double>(r.net_messages);
+  DAS_CHECK_MSG(false, "unknown metric: " + metric);
+  return 0;
+}
+
+void Collector::print_table(std::ostream& os, const std::string& experiment,
+                            const std::string& metric) const {
+  // Column order: policies in first-seen order; rows: points in first-seen
+  // order. Adds a "DAS vs FCFS" gain column when both are present.
+  std::vector<std::string> points;
+  std::vector<sched::Policy> policies;
+  for (const Row& row : rows_) {
+    if (row.experiment != experiment) continue;
+    if (std::find(points.begin(), points.end(), row.point) == points.end())
+      points.push_back(row.point);
+    if (std::find(policies.begin(), policies.end(), row.policy) == policies.end())
+      policies.push_back(row.policy);
+  }
+  if (points.empty()) return;
+
+  const auto find_result =
+      [&](const std::string& point,
+          sched::Policy policy) -> const core::ExperimentResult* {
+    for (const Row& row : rows_) {
+      if (row.experiment == experiment && row.point == point && row.policy == policy)
+        return &row.result;
+    }
+    return nullptr;
+  };
+
+  const bool has_fcfs = std::find(policies.begin(), policies.end(),
+                                  sched::Policy::kFcfs) != policies.end();
+  const bool has_das =
+      std::find(policies.begin(), policies.end(), sched::Policy::kDas) !=
+      policies.end();
+
+  std::vector<std::string> headers{"point"};
+  for (const sched::Policy p : policies) headers.push_back(sched::to_string(p));
+  if (has_fcfs && has_das) headers.push_back("das vs fcfs");
+
+  Table table{headers};
+  for (const std::string& point : points) {
+    std::vector<std::string> cells{point};
+    for (const sched::Policy p : policies) {
+      const core::ExperimentResult* r = find_result(point, p);
+      cells.push_back(r ? Table::fmt(metric_value(*r, metric), 1) : "-");
+    }
+    if (has_fcfs && has_das) {
+      const core::ExperimentResult* fcfs = find_result(point, sched::Policy::kFcfs);
+      const core::ExperimentResult* its_das = find_result(point, sched::Policy::kDas);
+      if (fcfs && its_das && metric_value(*fcfs, metric) > 0) {
+        cells.push_back(Table::fmt_percent(
+            1.0 - metric_value(*its_das, metric) / metric_value(*fcfs, metric)));
+      } else {
+        cells.push_back("-");
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  os << "== " << experiment << " — RCT " << metric << " (us) ==\n";
+  table.print(os);
+  os << '\n';
+}
+
+void register_point(const std::string& experiment, const std::string& point,
+                    const core::ClusterConfig& cfg, const core::RunWindow& window,
+                    const std::vector<sched::Policy>& policies) {
+  for (const sched::Policy policy : policies) {
+    const std::string name =
+        experiment + "/" + point + "/" + sched::to_string(policy);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [experiment, point, policy, cfg, window](benchmark::State& state) {
+          const core::ExperimentResult* result = nullptr;
+          for (auto _ : state) {
+            result = &Collector::instance().run(experiment, point, policy, cfg,
+                                                window);
+          }
+          state.counters["mean_rct_us"] = result->rct.mean;
+          state.counters["p99_rct_us"] = result->rct.p99;
+          state.counters["util"] = result->mean_server_utilization;
+          if (policy != sched::Policy::kFcfs) {
+            const auto& fcfs = Collector::instance().run(
+                experiment, point, sched::Policy::kFcfs, cfg, window);
+            state.counters["gain_vs_fcfs_pct"] =
+                100.0 * (1.0 - result->rct.mean / fcfs.rct.mean);
+          }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+int bench_main(int argc, char** argv, const std::string& experiment,
+               const std::vector<std::pair<std::string, std::string>>& metrics) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  for (const auto& [heading, metric] : metrics) {
+    std::cout << "\n### " << heading << "\n\n";
+    Collector::instance().print_table(std::cout, experiment, metric);
+  }
+  return 0;
+}
+
+}  // namespace dasbench

@@ -1,0 +1,82 @@
+// Shared infrastructure for the experiment benches.
+//
+// Every bench binary reproduces one table/figure of the paper's evaluation:
+// it registers one google-benchmark entry per (sweep point, policy) pair —
+// so standard --benchmark_* tooling works — and afterwards prints the
+// paper-style comparison table assembled from the collected results.
+// Results are memoized per (experiment, point, policy) so the FCFS baseline
+// used for "vs FCFS" columns is simulated exactly once per point.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "das.hpp"
+
+namespace dasbench {
+
+/// The evaluation's default cluster: 32 servers, open-loop Poisson multigets
+/// with geometric fan-out (mean 8), ETC-like value sizes, uniform key
+/// popularity, load expressed as fraction of aggregate capacity.
+das::core::ClusterConfig eval_config();
+
+/// Default measurement window: 30ms warmup + 200ms measured.
+das::core::RunWindow eval_window();
+
+/// The paper-table policy set: fcfs, sjf, req-srpt, rein-sbf, das.
+const std::vector<das::sched::Policy>& headline_policies();
+
+/// One collected result row.
+struct Row {
+  std::string experiment;
+  std::string point;  // sweep coordinate, e.g. "load=0.7"
+  das::sched::Policy policy{};
+  das::core::ExperimentResult result;
+};
+
+/// Process-wide result collector + memo cache.
+class Collector {
+ public:
+  static Collector& instance();
+
+  /// Runs (or returns the cached) experiment for the given coordinates.
+  const das::core::ExperimentResult& run(const std::string& experiment,
+                                         const std::string& point,
+                                         das::sched::Policy policy,
+                                         const das::core::ClusterConfig& cfg,
+                                         const das::core::RunWindow& window);
+
+  /// Prints one paper-style table per metric column requested.
+  /// `metric` selects the cell value; "gain" columns are relative to the
+  /// FCFS row of the same point when present.
+  void print_table(std::ostream& os, const std::string& experiment,
+                   const std::string& metric) const;
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  double metric_value(const das::core::ExperimentResult& r,
+                      const std::string& metric) const;
+
+  std::map<std::string, std::size_t> index_;  // key -> rows_ position
+  std::vector<Row> rows_;
+};
+
+/// Registers one google-benchmark per policy for a single sweep point. Each
+/// registered benchmark simulates (memoized) and exports mean/p99 RCT and
+/// the gain over FCFS as counters.
+void register_point(const std::string& experiment, const std::string& point,
+                    const das::core::ClusterConfig& cfg,
+                    const das::core::RunWindow& window,
+                    const std::vector<das::sched::Policy>& policies);
+
+/// Standard bench main body: run benchmarks, then print the tables.
+/// `metrics` is a list of (heading, metric key) pairs.
+int bench_main(int argc, char** argv, const std::string& experiment,
+               const std::vector<std::pair<std::string, std::string>>& metrics);
+
+}  // namespace dasbench

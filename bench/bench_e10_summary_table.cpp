@@ -1,0 +1,44 @@
+// E10 — The paper's headline summary table: every policy at the default
+// operating point (load 0.7, geometric fan-out, ETC sizes), mean/median and
+// tail percentiles plus coordination-overhead accounting.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  const auto window = dasbench::eval_window();
+  const std::vector<das::sched::Policy> policies = {
+      das::sched::Policy::kFcfs,    das::sched::Policy::kRandom,
+      das::sched::Policy::kSjf,     das::sched::Policy::kEdf,
+      das::sched::Policy::kReqSrpt, das::sched::Policy::kReinSbf,
+      das::sched::Policy::kDas,
+  };
+  dasbench::register_point("E10_summary", "load=0.7", cfg, window, policies);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Custom wide table: one row per policy.
+  das::Table table{{"policy", "mean", "p50", "p95", "p99", "p999", "vs fcfs",
+                    "util", "progress msgs"}};
+  const auto& rows = dasbench::Collector::instance().rows();
+  double fcfs_mean = 0;
+  for (const auto& row : rows)
+    if (row.policy == das::sched::Policy::kFcfs) fcfs_mean = row.result.rct.mean;
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    table.add_row({das::sched::to_string(row.policy), das::Table::fmt(r.rct.mean, 1),
+                   das::Table::fmt(r.rct.p50, 1), das::Table::fmt(r.rct.p95, 1),
+                   das::Table::fmt(r.rct.p99, 1), das::Table::fmt(r.rct.p999, 1),
+                   das::Table::fmt_percent(1.0 - r.rct.mean / fcfs_mean),
+                   das::Table::fmt(r.mean_server_utilization, 3),
+                   std::to_string(r.progress_messages)});
+  }
+  std::cout << "\n### E10 — Summary at load 0.7 (RCT in us)\n\n";
+  table.print(std::cout);
+  return 0;
+}

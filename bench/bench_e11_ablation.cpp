@@ -1,0 +1,25 @@
+// E11 — Ablation study over load: which DAS mechanism buys what. das-na
+// (no adaptivity), das-nd (no LRPT-last deferral), das-noaging (no
+// starvation bound), das-crit (critical-path key instead of total
+// remaining); req-srpt shown as the bare-SRPT reference.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  const auto window = dasbench::eval_window();
+  const std::vector<das::sched::Policy> policies = {
+      das::sched::Policy::kFcfs,       das::sched::Policy::kDas,
+      das::sched::Policy::kDasNoAdapt, das::sched::Policy::kDasNoDefer,
+      das::sched::Policy::kDasNoAging, das::sched::Policy::kDasCritical,
+      das::sched::Policy::kReqSrpt,
+  };
+  for (const double load : {0.5, 0.7, 0.85}) {
+    cfg.target_load = load;
+    dasbench::register_point("E11_ablation", "load=" + das::Table::fmt(load, 2), cfg,
+                             window, policies);
+  }
+  return dasbench::bench_main(argc, argv, "E11_ablation",
+                              {{"Ablations — mean RCT", "mean"},
+                               {"Ablations — p99 RCT", "p99"},
+                               {"Ablations — progress messages", "progress_msgs"}});
+}

@@ -1,0 +1,22 @@
+// E14 (extension) — Robustness to message loss. Gets are idempotent, so
+// recovery is client-side retransmission with exponential backoff (2ms base
+// RTO). Loss mostly costs the tail (one RTO per lost op); the scheduling
+// gain in the mean is expected to survive loss intact.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.retry_timeout_us = 2.0 * das::kMillisecond;
+  const auto window = dasbench::eval_window();
+  const std::vector<das::sched::Policy> policies = {
+      das::sched::Policy::kFcfs, das::sched::Policy::kReinSbf,
+      das::sched::Policy::kDas};
+  for (const double loss : {0.0, 0.001, 0.01, 0.05}) {
+    cfg.msg_loss_probability = loss;
+    dasbench::register_point("E14_loss", "loss=" + das::Table::fmt(loss * 100, 1) + "%",
+                             cfg, window, policies);
+  }
+  return dasbench::bench_main(argc, argv, "E14_loss",
+                              {{"Mean RCT vs message-loss rate", "mean"},
+                               {"p999 RCT vs message-loss rate", "p999"}});
+}

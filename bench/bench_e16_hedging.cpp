@@ -1,0 +1,31 @@
+// E16 (extension) — Hedged reads vs scheduling: two tail-cutting techniques
+// compared and composed. A cluster with 25% half-speed stragglers and R=2:
+// hedging duplicates slow ops to the other replica, DAS re-orders queues.
+// The interesting question is whether they are substitutes or complements.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.ring_vnodes = 128;
+  cfg.replication = 2;
+  cfg.replica_selection = das::core::ReplicaSelection::kPrimary;
+  cfg.load_calibration = das::core::LoadCalibration::kHottestServer;
+  cfg.target_load = 0.7;
+  cfg.server_speed_factors.assign(cfg.num_servers, 1.0);
+  for (std::size_t i = 0; i < cfg.num_servers / 4; ++i)
+    cfg.server_speed_factors[i] = 0.5;
+
+  const auto window = dasbench::eval_window();
+  const std::vector<das::sched::Policy> policies = {das::sched::Policy::kFcfs,
+                                                    das::sched::Policy::kDas};
+  for (const double hedge_ms : {0.0, 0.2, 0.5, 2.0}) {
+    cfg.hedge_delay_us = hedge_ms * das::kMillisecond;
+    const std::string point =
+        hedge_ms == 0 ? "no-hedge" : "hedge=" + das::Table::fmt(hedge_ms, 1) + "ms";
+    dasbench::register_point("E16_hedging", point, cfg, window, policies);
+  }
+  return dasbench::bench_main(argc, argv, "E16_hedging",
+                              {{"Mean RCT with hedged reads", "mean"},
+                               {"p99 RCT with hedged reads", "p99"},
+                               {"p999 RCT with hedged reads", "p999"}});
+}

@@ -1,0 +1,21 @@
+// E17 (extension) — Read/write mix. Writes are single-key write-all PUTs
+// (R=2 here), reads are multigets. Write ops enter the same per-server
+// queues, so the schedulers order them too; the question is whether the
+// multiget RCT gain survives write traffic in the queues.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.ring_vnodes = 128;
+  cfg.replication = 2;
+  const auto window = dasbench::eval_window();
+  for (const double w : {0.0, 0.05, 0.2, 0.5}) {
+    cfg.write_fraction = w;
+    dasbench::register_point("E17_write_mix",
+                             "writes=" + das::Table::fmt(w * 100, 0) + "%", cfg,
+                             window, dasbench::headline_policies());
+  }
+  return dasbench::bench_main(argc, argv, "E17_write_mix",
+                              {{"Mean RCT vs write fraction", "mean"},
+                               {"p99 RCT vs write fraction", "p99"}});
+}

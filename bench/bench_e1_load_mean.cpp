@@ -1,0 +1,15 @@
+// E1 — Mean request completion time vs system load (the paper's headline
+// figure). DAS should sit 15-50% below FCFS and below Rein-SBF throughout.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  const auto window = dasbench::eval_window();
+  for (const double load : {0.3, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    cfg.target_load = load;
+    dasbench::register_point("E1_load_mean", "load=" + das::Table::fmt(load, 1), cfg,
+                             window, dasbench::headline_policies());
+  }
+  return dasbench::bench_main(argc, argv, "E1_load_mean",
+                              {{"Mean RCT vs load", "mean"}});
+}

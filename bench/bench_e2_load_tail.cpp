@@ -1,0 +1,17 @@
+// E2 — Tail (p99) request completion time vs system load. SRPT-style
+// policies trade a little tail for a lot of mean; the aging bound keeps the
+// DAS tail close to FCFS.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  const auto window = dasbench::eval_window();
+  for (const double load : {0.5, 0.7, 0.9}) {
+    cfg.target_load = load;
+    dasbench::register_point("E2_load_tail", "load=" + das::Table::fmt(load, 1), cfg,
+                             window, dasbench::headline_policies());
+  }
+  return dasbench::bench_main(
+      argc, argv, "E2_load_tail",
+      {{"p99 RCT vs load", "p99"}, {"p999 RCT vs load", "p999"}});
+}

@@ -1,0 +1,15 @@
+// E3 — Mean RCT vs multiget fan-out (fixed k per request) at load 0.7.
+// The fork-join penalty grows with k; request-aware policies claw it back.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  const auto window = dasbench::eval_window();
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    cfg.fanout = das::make_fixed_int(k);
+    dasbench::register_point("E3_fanout", "k=" + std::to_string(k), cfg, window,
+                             dasbench::headline_policies());
+  }
+  return dasbench::bench_main(argc, argv, "E3_fanout",
+                              {{"Mean RCT vs fan-out", "mean"}});
+}

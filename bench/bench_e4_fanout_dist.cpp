@@ -1,0 +1,24 @@
+// E4 — Mean RCT across multiget fan-out distribution families (same mean
+// fan-out of 8 where the family allows, increasing variance). The gain of
+// request-aware scheduling grows with fan-out variance.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  const auto window = dasbench::eval_window();
+  const std::vector<std::pair<std::string, das::IntDistPtr>> families = {
+      {"fixed8", das::make_fixed_int(8)},
+      {"uniform1-15", das::make_uniform_int(1, 15)},
+      {"geometric8", das::make_geometric(0.125, 128)},
+      {"bimodal2-32", das::make_bimodal(2, 32, 0.2)},
+      {"zipf64", das::make_zipf_int(64, 1.1)},
+  };
+  for (const auto& [name, fanout] : families) {
+    cfg.fanout = fanout;
+    dasbench::register_point("E4_fanout_dist", name, cfg, window,
+                             dasbench::headline_policies());
+  }
+  return dasbench::bench_main(argc, argv, "E4_fanout_dist",
+                              {{"Mean RCT by fan-out family", "mean"},
+                               {"p99 RCT by fan-out family", "p99"}});
+}

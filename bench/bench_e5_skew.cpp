@@ -1,0 +1,21 @@
+// E5 — Mean RCT vs key-popularity skew (Zipf theta). Load is calibrated to
+// the HOTTEST server so every point stays stable; higher skew concentrates
+// queueing on hot servers, where scheduling matters most.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.load_calibration = das::core::LoadCalibration::kHottestServer;
+  cfg.target_load = 0.75;
+  const auto window = dasbench::eval_window();
+  for (const double theta : {0.0, 0.5, 0.9, 0.99, 1.2}) {
+    cfg.zipf_theta = theta;
+    dasbench::register_point("E5_skew", "theta=" + das::Table::fmt(theta, 2), cfg,
+                             window, dasbench::headline_policies());
+  }
+  return dasbench::bench_main(argc, argv, "E5_skew",
+                              {{"Mean RCT vs key skew (hottest-server load 0.75)",
+                                "mean"},
+                               {"Mean server utilisation (load concentrates)",
+                                "util"}});
+}

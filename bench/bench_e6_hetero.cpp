@@ -1,0 +1,26 @@
+// E6 — Mean RCT vs fraction of half-speed straggler servers. Rein's
+// size-based bottleneck ranking cannot see that a server is slow; DAS's
+// adaptive per-server speed estimates can (compare das vs das-na).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.load_calibration = das::core::LoadCalibration::kHottestServer;
+  cfg.target_load = 0.75;
+  const auto window = dasbench::eval_window();
+
+  auto policies = dasbench::headline_policies();
+  policies.push_back(das::sched::Policy::kDasNoAdapt);
+
+  for (const int slow_pct : {0, 12, 25, 50}) {
+    cfg.server_speed_factors.assign(cfg.num_servers, 1.0);
+    const std::size_t slow =
+        cfg.num_servers * static_cast<std::size_t>(slow_pct) / 100;
+    for (std::size_t i = 0; i < slow; ++i) cfg.server_speed_factors[i] = 0.5;
+    dasbench::register_point("E6_hetero", "slow=" + std::to_string(slow_pct) + "%",
+                             cfg, window, policies);
+  }
+  return dasbench::bench_main(argc, argv, "E6_hetero",
+                              {{"Mean RCT vs straggler fraction", "mean"},
+                               {"p99 RCT vs straggler fraction", "p99"}});
+}

@@ -1,0 +1,18 @@
+// E8 — Mean RCT vs cluster size at constant per-server load. DAS is fully
+// distributed (all state rides on messages), so its gain should be flat in
+// the number of servers.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  auto window = dasbench::eval_window();
+  window.measure_us = 120.0 * das::kMillisecond;  // larger clusters, same events
+  for (const std::size_t n : {16u, 32u, 64u, 128u}) {
+    cfg.num_servers = n;
+    cfg.num_clients = std::max<std::size_t>(4, n / 8);
+    dasbench::register_point("E8_scale", "servers=" + std::to_string(n), cfg, window,
+                             dasbench::headline_policies());
+  }
+  return dasbench::bench_main(argc, argv, "E8_scale",
+                              {{"Mean RCT vs cluster size", "mean"}});
+}

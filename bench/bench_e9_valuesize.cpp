@@ -1,0 +1,24 @@
+// E9 — Mean RCT across value-size distributions with matched means. Size
+// variance is SJF's only signal; request-aware policies exploit it through
+// the demand tags. Per-op overhead is reduced so transfer time dominates.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.per_op_overhead_us = 5.0;
+  const auto window = dasbench::eval_window();
+  const std::vector<std::pair<std::string, das::RealDistPtr>> families = {
+      {"fixed385B", das::make_constant(385.0)},
+      {"uniform10-760B", das::make_uniform_real(10.0, 760.0)},
+      {"etc_pareto", das::make_generalized_pareto(1.0, 250.0, 0.35, 64 * 1024.0)},
+      {"lognormal_s1.5", das::make_lognormal_mean(385.0, 1.5)},
+  };
+  for (const auto& [name, sizes] : families) {
+    cfg.value_size_bytes = sizes;
+    dasbench::register_point("E9_valuesize", name, cfg, window,
+                             dasbench::headline_policies());
+  }
+  return dasbench::bench_main(argc, argv, "E9_valuesize",
+                              {{"Mean RCT by value-size family", "mean"},
+                               {"p99 RCT by value-size family", "p99"}});
+}

@@ -1,0 +1,33 @@
+// Lightweight precondition / invariant checking.
+//
+// DAS_CHECK is active in every build type: simulation correctness depends on
+// these invariants and the cost is negligible next to event dispatch.
+// Violations throw std::logic_error so tests can assert on them and example
+// programs fail loudly instead of silently corrupting results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace das::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "DAS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace das::detail
+
+#define DAS_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) ::das::detail::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define DAS_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) ::das::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

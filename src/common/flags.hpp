@@ -1,0 +1,55 @@
+// Minimal command-line flag parsing for the tools and examples.
+//
+// Supports --name=value and --name value forms, typed accessors with
+// defaults, presence checks, --help text assembly, and strict rejection of
+// unknown flags (a typo silently ignored is a wrong experiment silently
+// run). No global state: each parser instance owns its registrations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace das {
+
+class Flags {
+ public:
+  /// Declares a flag before parsing. `help` is shown by print_help().
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv (skipping argv[0]). Returns false and fills `error` on an
+  /// unknown flag, a missing value, or a malformed token. Positional
+  /// arguments are collected into positionals().
+  bool parse(int argc, const char* const* argv, std::string* error);
+
+  bool has(const std::string& name) const;
+  /// True if the flag was explicitly set on the command line.
+  bool set_on_command_line(const std::string& name) const;
+
+  std::string get_string(const std::string& name) const;
+  /// Typed accessors; throw std::logic_error on unparseable values so a bad
+  /// experiment spec never runs.
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  void print_help(std::ostream& os, const std::string& program) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool explicitly_set = false;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace das

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64. One Rng per
+// logical stream (per client, per server, per distribution) keeps runs
+// reproducible regardless of event interleaving: the simulator guarantees a
+// deterministic event order, and independent streams guarantee that adding a
+// sampler to one entity never perturbs another's draws.
+#pragma once
+
+#include <cstdint>
+
+namespace das {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though das provides its own samplers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words from `seed` via SplitMix64. Any seed,
+  /// including 0, yields a valid non-degenerate state.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next 64 raw bits.
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double next_double();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [lo, hi). Precondition: lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Exponentially distributed sample with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean, double stddev);
+
+  /// Lognormal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Derives an independent child stream; deterministic in (this state, tag).
+  Rng fork(std::uint64_t tag);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace das

@@ -1,0 +1,33 @@
+// Minimal aligned-column table printer for bench output.
+//
+// Benches print paper-style rows ("load | FCFS | Rein-SBF | DAS | gain%");
+// this keeps them aligned and machine-greppable without dragging in a
+// formatting library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace das {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_percent(double fraction, int precision = 1);
+
+  /// Renders with a header rule and right-aligned numeric-looking columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace das

@@ -1,0 +1,361 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace das::core {
+
+Client::Client(sim::Simulator& sim, Params params, Rng rng,
+               const workload::MultigetGenerator& generator,
+               workload::ArrivalPtr arrivals, const store::Partitioner& partitioner,
+               std::vector<Bytes>& key_sizes, Metrics& metrics, SendOp send_op,
+               SendProgress send_progress)
+    : sim_(sim),
+      params_(params),
+      rng_(rng),
+      generator_(generator),
+      arrivals_(std::move(arrivals)),
+      partitioner_(partitioner),
+      key_sizes_(key_sizes),
+      metrics_(metrics),
+      send_op_(std::move(send_op)),
+      send_progress_(std::move(send_progress)) {
+  DAS_CHECK(params_.num_servers >= 1);
+  DAS_CHECK(arrivals_ != nullptr);
+  DAS_CHECK(send_op_ != nullptr);
+  DAS_CHECK(send_progress_ != nullptr);
+  DAS_CHECK(params_.ewma_alpha > 0 && params_.ewma_alpha <= 1);
+  d_est_.assign(params_.num_servers, 0.0);
+  mu_est_.assign(params_.num_servers, 1.0);
+}
+
+void Client::start(SimTime horizon) { schedule_next_arrival(horizon); }
+
+void Client::schedule_next_arrival(SimTime horizon) {
+  const SimTime next = arrivals_->next_arrival_after(sim_.now(), rng_);
+  if (next >= horizon) return;
+  sim_.schedule_at(next, [this, horizon] {
+    generate_request();
+    schedule_next_arrival(horizon);
+  });
+}
+
+double Client::op_demand_us(KeyId key) const {
+  DAS_CHECK(key < key_sizes_.size());
+  return params_.per_op_overhead_us +
+         static_cast<double>(key_sizes_[key]) / params_.service_bytes_per_us;
+}
+
+double Client::service_estimate_us(ServerId server, double demand) const {
+  const double mu = params_.adaptive ? mu_est_[server] : 1.0;
+  return demand / mu;
+}
+
+SimTime Client::full_estimate(SimTime now, ServerId server, double demand) const {
+  const double d = params_.adaptive ? d_est_[server] : 0.0;
+  return now + params_.est_rtt_us + d + service_estimate_us(server, demand);
+}
+
+ServerId Client::pick_server(KeyId key, double demand) {
+  if (params_.replication <= 1) return partitioner_.server_for(key);
+  const std::vector<ServerId> replicas =
+      partitioner_.replicas_for(key, params_.replication);
+  switch (params_.replica_selection) {
+    case ReplicaSelection::kPrimary:
+      return replicas.front();
+    case ReplicaSelection::kRandom:
+      return replicas[rng_.next_below(replicas.size())];
+    case ReplicaSelection::kLeastDelay: {
+      ServerId best = replicas.front();
+      double best_est = full_estimate(0, best, demand);
+      for (std::size_t i = 1; i < replicas.size(); ++i) {
+        const double est = full_estimate(0, replicas[i], demand);
+        if (est < best_est) {
+          best_est = est;
+          best = replicas[i];
+        }
+      }
+      return best;
+    }
+  }
+  DAS_CHECK_MSG(false, "unknown replica selection");
+  return replicas.front();
+}
+
+void Client::generate_request() {
+  const SimTime now = sim_.now();
+
+  // Plan the request's operations: either a multiget fan-out (one GET per
+  // distinct key at its chosen replica) or a single-key write-all PUT (one
+  // op per replica of the key).
+  struct PlannedOp {
+    KeyId key = 0;
+    ServerId server = 0;
+    double demand = 0;
+    bool is_write = false;
+    Bytes write_size = 0;
+  };
+  std::vector<PlannedOp> plan;
+  const bool is_write =
+      params_.write_fraction > 0 && rng_.chance(params_.write_fraction);
+  if (is_write) {
+    const KeyId key = generator_.sample_key(rng_);
+    const Bytes new_size =
+        params_.write_size_bytes
+            ? static_cast<Bytes>(
+                  std::max(1.0, std::round(params_.write_size_bytes->sample(rng_))))
+            : key_sizes_[key];
+    // The writer knows the size it is writing; publish it to the shared
+    // catalogue so demand estimates track the store's contents.
+    key_sizes_[key] = new_size;
+    const double demand =
+        params_.per_op_overhead_us +
+        static_cast<double>(new_size) / params_.service_bytes_per_us;
+    for (const ServerId server :
+         partitioner_.replicas_for(key, std::max<std::size_t>(params_.replication, 1))) {
+      plan.push_back(PlannedOp{key, server, demand, true, new_size});
+    }
+  } else {
+    const workload::MultigetSpec spec = generator_.generate(rng_);
+    DAS_CHECK(!spec.keys.empty());
+    plan.reserve(spec.keys.size());
+    for (const KeyId key : spec.keys) {
+      const double demand = op_demand_us(key);
+      plan.push_back(PlannedOp{key, pick_server(key, demand), demand, false, 0});
+    }
+  }
+
+  const RequestId rid =
+      (static_cast<RequestId>(params_.id) << 48) | next_request_seq_++;
+
+  PendingRequest pending;
+  pending.arrival = now;
+  pending.ops.reserve(plan.size());
+
+  // Per-server aggregates: (op count, demand sum) for the Rein bottleneck
+  // tags, plus the per-server max full-completion estimate for the DAS
+  // deferral bounds.
+  struct ServerAgg {
+    std::uint32_t ops = 0;
+    double demand = 0;
+    SimTime max_full_estimate = 0;
+  };
+  std::unordered_map<ServerId, ServerAgg> per_server;
+  double total_demand = 0;
+  double critical_us = 0;
+  for (const PlannedOp& planned : plan) {
+    auto& agg = per_server[planned.server];
+    ++agg.ops;
+    agg.demand += planned.demand;
+    agg.max_full_estimate = std::max(
+        agg.max_full_estimate, full_estimate(now, planned.server, planned.demand));
+    total_demand += planned.demand;
+    critical_us =
+        std::max(critical_us, service_estimate_us(planned.server, planned.demand));
+
+    PendingOp op;
+    op.op_id = (static_cast<OperationId>(params_.id) << 48) | next_op_seq_++;
+    op.server = planned.server;
+    op.key = planned.key;
+    op.demand_us = planned.demand;
+    op.sent_ctx.is_write = planned.is_write;
+    op.sent_ctx.write_size = planned.write_size;
+    pending.ops.push_back(op);
+  }
+  std::uint32_t bottleneck_ops = 0;
+  double bottleneck_demand = 0;
+  for (const auto& [server, agg] : per_server) {
+    bottleneck_ops = std::max(bottleneck_ops, agg.ops);
+    bottleneck_demand = std::max(bottleneck_demand, agg.demand);
+  }
+
+  pending.remaining = pending.ops.size();
+  pending.last_sent_critical = critical_us;
+  pending.last_sent_total = total_demand;
+
+  for (PendingOp& op : pending.ops) {
+    // Deferral bound: the latest completion estimate among siblings on
+    // servers other than this op's.
+    SimTime est_other = 0;
+    for (const auto& [server, agg] : per_server) {
+      if (server == op.server) continue;
+      est_other = std::max(est_other, agg.max_full_estimate);
+    }
+
+    sched::OpContext ctx;
+    ctx.op_id = op.op_id;
+    ctx.request_id = rid;
+    ctx.client = params_.id;
+    ctx.key = op.key;
+    ctx.demand_us = op.demand_us;
+    ctx.request_arrival = now;
+    ctx.remaining_critical_us = critical_us;
+    ctx.est_other_completion = est_other;
+    ctx.bottleneck_ops = bottleneck_ops;
+    ctx.bottleneck_demand_us = bottleneck_demand;
+    ctx.total_demand_us = total_demand;
+    ctx.deadline = now + params_.edf_slo_us;
+    ctx.is_write = op.sent_ctx.is_write;
+    ctx.write_size = op.sent_ctx.write_size;
+    op_to_request_.emplace(op.op_id, rid);
+    op.sent_ctx = ctx;
+    send_op_(op.server, ctx);
+    ++ops_generated_;
+  }
+  auto [it, inserted] = pending_.emplace(rid, std::move(pending));
+  DAS_CHECK(inserted);
+  for (PendingOp& op : it->second.ops) {
+    if (params_.retry_timeout_us > 0) arm_retry(rid, op);
+    // Writes already fan out to every replica; hedging applies to reads.
+    if (params_.hedge_delay_us > 0 && params_.replication >= 2 &&
+        !op.sent_ctx.is_write) {
+      arm_hedge(rid, op);
+    }
+  }
+  ++requests_generated_;
+}
+
+void Client::arm_hedge(RequestId rid, PendingOp& op) {
+  const OperationId op_id = op.op_id;
+  op.hedge_timer = sim_.schedule_after(params_.hedge_delay_us, [this, rid, op_id] {
+    const auto req_it = pending_.find(rid);
+    if (req_it == pending_.end()) return;
+    auto& ops = req_it->second.ops;
+    const auto it = std::find_if(ops.begin(), ops.end(), [&](const PendingOp& o) {
+      return o.op_id == op_id;
+    });
+    if (it == ops.end() || it->done || it->hedged) return;
+    // Pick the best OTHER replica under the current learned view.
+    const auto replicas = partitioner_.replicas_for(it->key, params_.replication);
+    ServerId alternate = kInvalidServer;
+    double best_est = 0;
+    for (const ServerId candidate : replicas) {
+      if (candidate == it->server) continue;
+      const double est = full_estimate(0, candidate, it->demand_us);
+      if (alternate == kInvalidServer || est < best_est) {
+        alternate = candidate;
+        best_est = est;
+      }
+    }
+    if (alternate == kInvalidServer) return;  // no distinct replica
+    it->hedged = true;
+    ++ops_hedged_;
+    send_op_(alternate, it->sent_ctx);
+  });
+}
+
+void Client::arm_retry(RequestId rid, PendingOp& op) {
+  // Exponential backoff: timeout doubles with each attempt.
+  const Duration timeout =
+      params_.retry_timeout_us * static_cast<double>(1u << std::min(op.attempts - 1,
+                                                                    10u));
+  const OperationId op_id = op.op_id;
+  op.retry_timer = sim_.schedule_after(timeout, [this, rid, op_id] {
+    const auto req_it = pending_.find(rid);
+    if (req_it == pending_.end()) return;
+    auto& ops = req_it->second.ops;
+    const auto it = std::find_if(ops.begin(), ops.end(), [&](const PendingOp& o) {
+      return o.op_id == op_id;
+    });
+    if (it == ops.end() || it->done) return;
+    ++it->attempts;
+    ++ops_retransmitted_;
+    send_op_(it->server, it->sent_ctx);
+    arm_retry(rid, *it);
+  });
+}
+
+void Client::on_response(const OpResponse& resp) {
+  const SimTime now = sim_.now();
+
+  if (params_.adaptive) {
+    d_est_[resp.server] +=
+        params_.ewma_alpha * (resp.d_hat_us - d_est_[resp.server]);
+    mu_est_[resp.server] +=
+        params_.ewma_alpha * (resp.mu_hat - mu_est_[resp.server]);
+  }
+
+  const auto op_it = op_to_request_.find(resp.op_id);
+  if (op_it == op_to_request_.end()) {
+    // With retransmission or hedging enabled, a second copy of a served op
+    // yields a duplicate response; discard it. Otherwise it is a protocol
+    // bug.
+    DAS_CHECK_MSG(params_.retry_timeout_us > 0 || params_.hedge_delay_us > 0,
+                  "response for unknown op");
+    ++duplicate_responses_;
+    return;
+  }
+  const RequestId rid = op_it->second;
+  op_to_request_.erase(op_it);
+
+  const auto req_it = pending_.find(rid);
+  DAS_CHECK_MSG(req_it != pending_.end(), "response for completed request");
+  PendingRequest& req = req_it->second;
+
+  const auto pop = std::find_if(req.ops.begin(), req.ops.end(),
+                                [&](const PendingOp& op) { return op.op_id == resp.op_id; });
+  DAS_CHECK(pop != req.ops.end());
+  DAS_CHECK_MSG(!pop->done, "duplicate response");
+  pop->done = true;
+  sim_.cancel(pop->retry_timer);
+  sim_.cancel(pop->hedge_timer);
+  DAS_CHECK(req.remaining > 0);
+  --req.remaining;
+
+  if (req.remaining == 0) {
+    metrics_.record_request(req.arrival, now, req.ops.size());
+    pending_.erase(req_it);
+    ++requests_completed_;
+    return;
+  }
+
+  if (!params_.progress_updates) return;
+
+  // Recompute the scheduling estimates from the surviving ops under the
+  // *current* per-server view and propagate when the critical path moved
+  // enough to change scheduling decisions.
+  double new_critical = 0;
+  double remaining_demand = 0;
+  std::unordered_map<ServerId, SimTime> server_max_full;
+  for (const PendingOp& op : req.ops) {
+    if (op.done) continue;
+    remaining_demand += op.demand_us;
+    new_critical =
+        std::max(new_critical, service_estimate_us(op.server, op.demand_us));
+    SimTime& m = server_max_full[op.server];
+    m = std::max(m, full_estimate(now, op.server, op.demand_us));
+  }
+  // Send when either the critical path (DAS's key) or the total remaining
+  // (ReqSRPT's key) moved by more than the threshold, relative to its last
+  // sent value.
+  const bool critical_moved =
+      std::abs(new_critical - req.last_sent_critical) >=
+      params_.progress_threshold * std::max(req.last_sent_critical, 1.0);
+  const bool total_moved =
+      std::abs(remaining_demand - req.last_sent_total) >=
+      params_.progress_threshold * std::max(req.last_sent_total, 1.0);
+  if (!critical_moved && !total_moved) return;
+  req.last_sent_critical = new_critical;
+  req.last_sent_total = remaining_demand;
+  // One update per distinct server still holding pending ops; the deferral
+  // bound is per destination (max full estimate over the OTHER servers).
+  for (const auto& [server, unused] : server_max_full) {
+    (void)unused;
+    SimTime est_other = 0;
+    for (const auto& [other, est] : server_max_full) {
+      if (other == server) continue;
+      est_other = std::max(est_other, est);
+    }
+    sched::ProgressUpdate update;
+    update.remaining_critical_us = new_critical;
+    update.est_other_completion = est_other;
+    update.remaining_total_us = remaining_demand;
+    send_progress_(server, rid, update);
+    ++progress_sent_;
+  }
+}
+
+}  // namespace das::core

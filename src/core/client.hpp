@@ -1,0 +1,166 @@
+// Simulated front-end client.
+//
+// Generates multiget requests open-loop, fans each out into per-server
+// operations tagged with the scheduling metadata (DAS completion estimates,
+// Rein bottleneck sizes, SRPT totals, EDF deadlines), tracks responses, and
+// emits sibling-progress updates so servers can re-rank queued operations.
+// The client's per-server delay/speed view is learned purely from response
+// piggybacks — the "distributed" half of the paper's design.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/server.hpp"
+#include "sched/op_context.hpp"
+#include "sim/simulator.hpp"
+#include "store/partitioner.hpp"
+#include "workload/arrival.hpp"
+#include "workload/multiget.hpp"
+
+namespace das::core {
+
+class Client {
+ public:
+  struct Params {
+    ClientId id = 0;
+    std::size_t num_servers = 0;
+    /// Per-op demand model (must match the servers' service model).
+    double per_op_overhead_us = 0;
+    double service_bytes_per_us = 1;
+    /// Learn per-server d/mu estimates from piggybacks; false = static view
+    /// (zero delay, nominal speed) — the client half of the DAS-NA ablation.
+    bool adaptive = true;
+    /// Send sibling-progress updates to servers holding pending ops.
+    bool progress_updates = true;
+    /// Suppress a progress update when the completion estimate moved by less
+    /// than this fraction of the remaining horizon (overhead control).
+    double progress_threshold = 0.05;
+    double ewma_alpha = 0.3;
+    /// Round-trip allowance added to completion estimates at tag time.
+    Duration est_rtt_us = 10.0;
+    Duration edf_slo_us = 10.0 * kMillisecond;
+    /// Read-one replication: candidate replicas per key and how to choose.
+    std::size_t replication = 1;
+    ReplicaSelection replica_selection = ReplicaSelection::kPrimary;
+    /// End-to-end recovery from message loss: an operation unanswered for
+    /// this long is retransmitted (same op id; duplicate service is
+    /// harmless for reads, duplicate responses are discarded). 0 disables
+    /// retransmission. Backs off exponentially (x2 per attempt).
+    Duration retry_timeout_us = 0;
+    /// Hedged reads: an operation unanswered after this delay is duplicated
+    /// to a different replica (first response wins, the loser is
+    /// discarded). Requires replication >= 2; 0 disables. Fires once.
+    Duration hedge_delay_us = 0;
+    /// Fraction of requests that are single-key PUTs fanned out to ALL
+    /// replicas (write-all); the rest are multigets. 0 = read-only.
+    double write_fraction = 0;
+    /// Sizes of written values; nullptr falls back to existing key size.
+    RealDistPtr write_size_bytes;
+  };
+
+  using SendOp = std::function<void(ServerId, const sched::OpContext&)>;
+  using SendProgress =
+      std::function<void(ServerId, RequestId, const sched::ProgressUpdate&)>;
+
+  /// `key_sizes` is the shared size catalogue; writes update it in place
+  /// (the writer knows the size it wrote; other clients' estimates converge
+  /// on their next access).
+  Client(sim::Simulator& sim, Params params, Rng rng,
+         const workload::MultigetGenerator& generator,
+         workload::ArrivalPtr arrivals, const store::Partitioner& partitioner,
+         std::vector<Bytes>& key_sizes, Metrics& metrics, SendOp send_op,
+         SendProgress send_progress);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Begins generating requests; arrivals strictly before `horizon`.
+  void start(SimTime horizon);
+
+  /// A server response arrived (cluster delivers through the network).
+  void on_response(const OpResponse& resp);
+
+  std::uint64_t requests_generated() const { return requests_generated_; }
+  std::uint64_t requests_completed() const { return requests_completed_; }
+  std::uint64_t ops_generated() const { return ops_generated_; }
+  std::uint64_t progress_sent() const { return progress_sent_; }
+  std::uint64_t ops_retransmitted() const { return ops_retransmitted_; }
+  std::uint64_t duplicate_responses() const { return duplicate_responses_; }
+  std::uint64_t ops_hedged() const { return ops_hedged_; }
+  std::size_t in_flight() const { return pending_.size(); }
+
+  /// Current learned view (tests).
+  double delay_estimate(ServerId s) const { return d_est_[s]; }
+  double speed_estimate(ServerId s) const { return mu_est_[s]; }
+
+ private:
+  struct PendingOp {
+    OperationId op_id = 0;
+    ServerId server = 0;
+    KeyId key = 0;
+    double demand_us = 0;
+    bool done = false;
+    /// Message as originally sent, kept for retransmission/hedging.
+    sched::OpContext sent_ctx;
+    sim::EventHandle retry_timer;
+    sim::EventHandle hedge_timer;
+    std::uint32_t attempts = 1;
+    bool hedged = false;
+  };
+  struct PendingRequest {
+    SimTime arrival = 0;
+    std::vector<PendingOp> ops;
+    std::size_t remaining = 0;
+    double last_sent_critical = 0;
+    double last_sent_total = 0;
+  };
+
+  void schedule_next_arrival(SimTime horizon);
+  void generate_request();
+  double op_demand_us(KeyId key) const;
+  /// Target replica for `key` per the configured selection strategy.
+  ServerId pick_server(KeyId key, double demand);
+  /// Intrinsic service-time estimate of one op (demand over learned speed).
+  double service_estimate_us(ServerId server, double demand) const;
+  /// Full completion estimate of one op if sent now (rtt + queueing + service).
+  SimTime full_estimate(SimTime now, ServerId server, double demand) const;
+
+  sim::Simulator& sim_;
+  Params params_;
+  Rng rng_;
+  const workload::MultigetGenerator& generator_;
+  workload::ArrivalPtr arrivals_;
+  const store::Partitioner& partitioner_;
+  std::vector<Bytes>& key_sizes_;
+  Metrics& metrics_;
+  SendOp send_op_;
+  SendProgress send_progress_;
+
+  std::vector<double> d_est_;
+  std::vector<double> mu_est_;
+  std::unordered_map<RequestId, PendingRequest> pending_;
+  std::unordered_map<OperationId, RequestId> op_to_request_;
+
+  std::uint64_t next_request_seq_ = 0;
+  std::uint64_t next_op_seq_ = 0;
+  std::uint64_t requests_generated_ = 0;
+  std::uint64_t requests_completed_ = 0;
+  std::uint64_t ops_generated_ = 0;
+  std::uint64_t progress_sent_ = 0;
+  std::uint64_t ops_retransmitted_ = 0;
+  std::uint64_t duplicate_responses_ = 0;
+  std::uint64_t ops_hedged_ = 0;
+
+  /// Arms (or re-arms) the retransmission timer for an op of `rid`.
+  void arm_retry(RequestId rid, PendingOp& op);
+  /// Arms the one-shot hedge timer for an op of `rid`.
+  void arm_hedge(RequestId rid, PendingOp& op);
+};
+
+}  // namespace das::core

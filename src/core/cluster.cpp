@@ -1,0 +1,296 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/wire.hpp"
+#include "workload/arrival.hpp"
+
+namespace das::core {
+
+namespace {
+
+bool policy_uses_progress(sched::Policy policy) {
+  switch (policy) {
+    case sched::Policy::kDas:
+    case sched::Policy::kDasNoDefer:
+    case sched::Policy::kDasNoAging:
+    case sched::Policy::kDasCritical:
+    case sched::Policy::kReqSrpt:
+      return true;
+    // DAS-NA turns the whole adaptive feedback loop off, progress included.
+    case sched::Policy::kDasNoAdapt:
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config, RunWindow window)
+    : config_(std::move(config)), window_(window) {
+  DAS_CHECK(config_.num_servers >= 1);
+  DAS_CHECK(config_.num_clients >= 1);
+  DAS_CHECK(config_.keys_per_server >= 1);
+  DAS_CHECK(window_.measure_us > 0);
+
+  Rng master{config_.seed};
+
+  // Network.
+  net::Network::Config net_cfg;
+  net_cfg.latency = config_.net_jitter_sigma > 0
+                        ? net::make_lognormal_latency(config_.net_latency_us,
+                                                      config_.net_jitter_sigma)
+                        : net::make_constant_latency(config_.net_latency_us);
+  net_cfg.loss_probability = config_.msg_loss_probability;
+  DAS_CHECK_MSG(config_.msg_loss_probability == 0 || config_.retry_timeout_us > 0,
+                "message loss requires a retry timeout or requests never finish");
+  net_ = std::make_unique<net::Network>(sim_, net_cfg, master.fork(0xA11CE));
+
+  // Placement.
+  partitioner_ = config_.ring_vnodes > 0
+                     ? store::make_consistent_hash_ring(config_.num_servers,
+                                                        config_.ring_vnodes)
+                     : store::make_modulo_partitioner(config_.num_servers);
+
+  // Key catalogue: sizes drawn once, shared by clients (demand estimation)
+  // and servers (stored values).
+  const std::uint64_t universe =
+      config_.num_servers * config_.keys_per_server;
+  key_sizes_.resize(universe);
+  {
+    Rng size_rng = master.fork(0x512E);
+    for (auto& size : key_sizes_) {
+      size = static_cast<Bytes>(
+          std::max(1.0, std::round(config_.value_size_bytes->sample(size_rng))));
+    }
+  }
+
+  // Servers.
+  metrics_.set_window(window_.warmup_us, window_.horizon());
+  if (config_.timeline_bucket_us > 0)
+    metrics_.enable_timeline(config_.timeline_bucket_us);
+  servers_.reserve(config_.num_servers);
+  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+    Server::Params params;
+    params.id = static_cast<ServerId>(s);
+    params.speed_factor =
+        config_.server_speed_factors.empty() ? 1.0 : config_.server_speed_factors[s];
+    if (!config_.speed_profiles.empty()) {
+      params.speed_profile = config_.speed_profiles.size() == 1
+                                 ? config_.speed_profiles[0]
+                                 : config_.speed_profiles[s];
+    }
+    params.speed_alpha = config_.server_speed_alpha;
+    params.preemptive = config_.preemptive_service;
+    params.log_structured_storage = config_.log_structured_storage;
+
+    sched::SchedulerConfig sched_cfg = config_.sched_config;
+    sched_cfg.seed = master.fork(0x5EED + s).next_u64();
+    auto scheduler = sched::make_scheduler(config_.policy, sched_cfg);
+
+    auto server = std::make_unique<Server>(sim_, params, std::move(scheduler), metrics_);
+    server->set_utilization_window(window_.warmup_us, window_.horizon());
+    servers_.push_back(std::move(server));
+  }
+
+  // Populate every key on its replica set (primary-only when replication=1).
+  const std::size_t replication =
+      std::min(std::max<std::size_t>(config_.replication, 1), config_.num_servers);
+  for (std::uint64_t key = 0; key < universe; ++key) {
+    for (const ServerId s : partitioner_->replicas_for(key, replication)) {
+      servers_[s]->populate(key, key_sizes_[key]);
+    }
+  }
+
+  // Response routing: server -> network -> client.
+  for (auto& server : servers_) {
+    server->set_response_handler([this](const OpResponse& resp) {
+      net_->send(server_node(resp.server), client_node(resp.client),
+                 wire::response_wire_size(resp),
+                 [this, resp] { clients_[resp.client]->on_response(resp); });
+    });
+  }
+
+  // Workload generator shared by all clients.
+  workload::MultigetGenerator::Config gen_cfg;
+  gen_cfg.key_universe = universe;
+  gen_cfg.zipf_theta = config_.zipf_theta;
+  gen_cfg.fanout = config_.fanout;
+  generator_ = std::make_unique<workload::MultigetGenerator>(gen_cfg);
+
+  // Clients.
+  const double total_rate = derived_request_rate();
+  const double per_client_rate = total_rate / static_cast<double>(config_.num_clients);
+  const bool progress =
+      config_.progress_updates && policy_uses_progress(config_.policy);
+  const bool adaptive =
+      config_.client_adaptive && config_.policy != sched::Policy::kDasNoAdapt;
+
+  clients_.reserve(config_.num_clients);
+  for (std::size_t c = 0; c < config_.num_clients; ++c) {
+    Client::Params params;
+    params.id = static_cast<ClientId>(c);
+    params.num_servers = config_.num_servers;
+    params.per_op_overhead_us = config_.per_op_overhead_us;
+    params.service_bytes_per_us = config_.service_bytes_per_us;
+    params.adaptive = adaptive;
+    params.progress_updates = progress;
+    params.ewma_alpha = config_.client_ewma_alpha;
+    params.est_rtt_us = 2.0 * config_.net_latency_us;
+    params.edf_slo_us = config_.edf_slo_us;
+    params.replication = replication;
+    params.replica_selection = config_.replica_selection;
+    params.retry_timeout_us = config_.retry_timeout_us;
+    params.hedge_delay_us = config_.hedge_delay_us;
+    params.write_fraction = config_.write_fraction;
+    params.write_size_bytes = config_.write_size_bytes ? config_.write_size_bytes
+                                                       : config_.value_size_bytes;
+
+    workload::ArrivalPtr arrivals =
+        config_.load_profile
+            ? workload::make_modulated_poisson(per_client_rate, config_.load_profile,
+                                               window_.horizon())
+            : workload::make_poisson_arrivals(per_client_rate);
+
+    auto send_op = [this](ServerId server, const sched::OpContext& ctx) {
+      net_->send(client_node(ctx.client), server_node(server),
+                 wire::op_wire_size(ctx),
+                 [this, server, ctx] { servers_[server]->receive_op(ctx); });
+    };
+    auto send_progress = [this, c](ServerId server, RequestId rid,
+                                   const sched::ProgressUpdate& update) {
+      ++progress_messages_;
+      net_->send(client_node(static_cast<ClientId>(c)), server_node(server),
+                 wire::progress_wire_size(), [this, server, rid, update] {
+                   servers_[server]->receive_progress(rid, update);
+                 });
+    };
+
+    clients_.push_back(std::make_unique<Client>(
+        sim_, params, master.fork(0xC11E47 + c), *generator_, std::move(arrivals),
+        *partitioner_, key_sizes_, metrics_, std::move(send_op),
+        std::move(send_progress)));
+  }
+}
+
+double Cluster::derived_request_rate() const {
+  if (config_.load_calibration == LoadCalibration::kAverageCapacity) {
+    return config_.derived_arrival_rate(window_.horizon());
+  }
+  // Hottest-server calibration: expected demand share of server s per drawn
+  // key is  share_s = sum over its keys of pmf(rank) * demand(key).
+  // Utilisation of s at op rate L is  L * share_s / speed_s, so the op rate
+  // that puts the hottest server at target_load is
+  //   L = target_load / max_s(share_s / speed_s).
+  std::vector<double> share(config_.num_servers, 0.0);
+  const std::uint64_t universe = key_sizes_.size();
+  const std::size_t replication =
+      std::min(std::max<std::size_t>(config_.replication, 1), config_.num_servers);
+  for (std::uint64_t rank = 0; rank < universe; ++rank) {
+    const KeyId key = generator_->key_for_rank(rank);
+    const double demand =
+        config_.per_op_overhead_us +
+        static_cast<double>(key_sizes_[key]) / config_.service_bytes_per_us;
+    if (replication == 1 ||
+        config_.replica_selection == ReplicaSelection::kPrimary) {
+      share[partitioner_->server_for(key)] += generator_->rank_pmf(rank) * demand;
+    } else {
+      // Random/least-delay selection spreads a key's load across its replica
+      // set (exactly for kRandom; a close approximation for kLeastDelay).
+      const auto replicas = partitioner_->replicas_for(key, replication);
+      const double slice = generator_->rank_pmf(rank) * demand /
+                           static_cast<double>(replicas.size());
+      for (const ServerId s : replicas) share[s] += slice;
+    }
+  }
+  const auto profile_mean = [&](std::size_t s) -> double {
+    if (config_.speed_profiles.empty()) return 1.0;
+    const auto& profile = config_.speed_profiles.size() == 1
+                              ? config_.speed_profiles[0]
+                              : config_.speed_profiles[s];
+    if (profile == nullptr) return 1.0;
+    const Duration step = kMillisecond;
+    double acc = 0;
+    std::size_t n = 0;
+    for (SimTime t = 0; t < window_.horizon(); t += step, ++n)
+      acc += profile->value_at(t);
+    return n ? acc / static_cast<double>(n) : profile->value_at(0);
+  };
+  double hottest = 0;
+  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+    const double speed =
+        (config_.server_speed_factors.empty() ? 1.0 : config_.server_speed_factors[s]) *
+        profile_mean(s);
+    hottest = std::max(hottest, share[s] / speed);
+  }
+  DAS_CHECK(hottest > 0);
+  double load_profile_mean = 1.0;
+  if (config_.load_profile != nullptr) {
+    const Duration step = kMillisecond;
+    double acc = 0;
+    std::size_t n = 0;
+    for (SimTime t = 0; t < window_.horizon(); t += step, ++n)
+      acc += config_.load_profile->value_at(t);
+    load_profile_mean = acc / static_cast<double>(n);
+  }
+  const double op_rate = config_.target_load / (hottest * load_profile_mean);
+  return op_rate / config_.fanout->mean();
+}
+
+ExperimentResult Cluster::run() {
+  DAS_CHECK_MSG(!ran_, "Cluster::run is single-shot");
+  ran_ = true;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (auto& client : clients_) client->start(window_.horizon());
+  sim_.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ExperimentResult result;
+  result.rct = metrics_.rct().summary();
+  result.op_latency = metrics_.op_latency().summary();
+  result.op_wait = metrics_.op_wait().summary();
+  for (const auto& client : clients_) {
+    result.requests_generated += client->requests_generated();
+    result.requests_completed += client->requests_completed();
+    result.ops_generated += client->ops_generated();
+    result.ops_retransmitted += client->ops_retransmitted();
+    result.duplicate_responses += client->duplicate_responses();
+    result.ops_hedged += client->ops_hedged();
+    DAS_CHECK_MSG(client->in_flight() == 0, "request leaked past drain");
+  }
+  DAS_CHECK_MSG(result.requests_generated == result.requests_completed,
+                "request conservation violated");
+  double util_sum = 0;
+  for (const auto& server : servers_) {
+    result.ops_completed += server->ops_completed();
+    const double util = server->busy_time_in_window() / window_.measure_us;
+    util_sum += util;
+    result.max_server_utilization = std::max(result.max_server_utilization, util);
+  }
+  if (config_.msg_loss_probability == 0 && config_.retry_timeout_us == 0 &&
+      config_.hedge_delay_us == 0) {
+    // Exact conservation without faults. With retransmission enabled,
+    // spurious retries (RTO shorter than a queueing spike) can be served
+    // more than once even at zero loss, so the request-level check above
+    // (every request completed) is the meaningful invariant there.
+    DAS_CHECK_MSG(result.ops_generated == result.ops_completed,
+                  "operation conservation violated");
+  }
+  result.mean_server_utilization = util_sum / static_cast<double>(servers_.size());
+  result.requests_measured = metrics_.requests_measured();
+  result.net_messages = net_->stats().messages_sent;
+  result.net_messages_dropped = net_->stats().messages_dropped;
+  result.net_bytes = net_->stats().bytes_sent;
+  result.progress_messages = progress_messages_;
+  result.sim_duration_us = sim_.now();
+  result.timeline = metrics_.timeline();
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return result;
+}
+
+}  // namespace das::core

@@ -1,0 +1,74 @@
+// Cluster: wires simulator, network, partitioner, servers and clients into
+// one runnable system and collects the results.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/client.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/server.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "store/partitioner.hpp"
+#include "workload/multiget.hpp"
+
+namespace das::core {
+
+/// Warmup/measurement windows of a run. Requests arriving in
+/// [warmup, warmup + measure) are measured; everything is simulated to
+/// completion either way so the tail is not truncated.
+struct RunWindow {
+  Duration warmup_us = 50.0 * kMillisecond;
+  Duration measure_us = 300.0 * kMillisecond;
+  SimTime horizon() const { return warmup_us + measure_us; }
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, RunWindow window);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Runs to completion (all generated requests answered) and returns the
+  /// aggregated result. Callable once.
+  ExperimentResult run();
+
+  // Introspection for tests.
+  sim::Simulator& simulator() { return sim_; }
+  const Metrics& metrics() const { return metrics_; }
+  const ClusterConfig& config() const { return config_; }
+  Server& server(std::size_t i) { return *servers_.at(i); }
+  Client& client(std::size_t i) { return *clients_.at(i); }
+  std::size_t server_count() const { return servers_.size(); }
+  std::size_t client_count() const { return clients_.size(); }
+  const store::Partitioner& partitioner() const { return *partitioner_; }
+  const std::vector<Bytes>& key_sizes() const { return key_sizes_; }
+
+ private:
+  /// Request arrival rate (requests/µs, all clients) per the calibration mode.
+  double derived_request_rate() const;
+
+  net::NodeId server_node(ServerId s) const { return s; }
+  net::NodeId client_node(ClientId c) const {
+    return static_cast<net::NodeId>(config_.num_servers + c);
+  }
+
+  ClusterConfig config_;
+  RunWindow window_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  store::PartitionerPtr partitioner_;
+  std::vector<Bytes> key_sizes_;
+  std::unique_ptr<workload::MultigetGenerator> generator_;
+  Metrics metrics_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::uint64_t progress_messages_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace das::core

@@ -1,0 +1,70 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace das::core {
+
+double ClusterConfig::mean_op_demand_us() const {
+  DAS_CHECK(value_size_bytes != nullptr);
+  DAS_CHECK(service_bytes_per_us > 0);
+  return per_op_overhead_us + value_size_bytes->mean() / service_bytes_per_us;
+}
+
+double ClusterConfig::nominal_capacity(SimTime horizon) const {
+  DAS_CHECK(num_servers >= 1);
+  DAS_CHECK(server_speed_factors.empty() ||
+            server_speed_factors.size() == num_servers);
+  DAS_CHECK(speed_profiles.empty() || speed_profiles.size() == 1 ||
+            speed_profiles.size() == num_servers);
+
+  const auto profile_mean = [&](std::size_t server) -> double {
+    if (speed_profiles.empty()) return 1.0;
+    const auto& profile =
+        speed_profiles.size() == 1 ? speed_profiles[0] : speed_profiles[server];
+    if (profile == nullptr) return 1.0;
+    const Duration step = kMillisecond;
+    double acc = 0;
+    std::size_t n = 0;
+    for (SimTime t = 0; t < horizon; t += step, ++n) acc += profile->value_at(t);
+    return n ? acc / static_cast<double>(n) : profile->value_at(0);
+  };
+
+  double capacity = 0;
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    const double factor =
+        server_speed_factors.empty() ? 1.0 : server_speed_factors[s];
+    DAS_CHECK(factor > 0);
+    capacity += factor * profile_mean(s);
+  }
+  return capacity;
+}
+
+double ClusterConfig::derived_arrival_rate(SimTime horizon) const {
+  DAS_CHECK(target_load > 0 && target_load < 1);
+  DAS_CHECK(fanout != nullptr);
+  DAS_CHECK(write_fraction >= 0 && write_fraction <= 1);
+  const double read_work = fanout->mean() * mean_op_demand_us();
+  const auto replicas = static_cast<double>(
+      std::min(std::max<std::size_t>(replication, 1), num_servers));
+  const double write_size =
+      (write_size_bytes ? write_size_bytes : value_size_bytes)->mean();
+  const double write_work =
+      replicas * (per_op_overhead_us + write_size / service_bytes_per_us);
+  const double work_per_request =
+      (1.0 - write_fraction) * read_work + write_fraction * write_work;
+  double load_profile_mean = 1.0;
+  if (load_profile != nullptr) {
+    const Duration step = kMillisecond;
+    double acc = 0;
+    std::size_t n = 0;
+    for (SimTime t = 0; t < horizon; t += step, ++n) acc += load_profile->value_at(t);
+    load_profile_mean = n ? acc / static_cast<double>(n) : load_profile->value_at(0);
+    DAS_CHECK(load_profile_mean > 0);
+  }
+  return target_load * nominal_capacity(horizon) /
+         (work_per_request * load_profile_mean);
+}
+
+}  // namespace das::core

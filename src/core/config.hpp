@@ -1,0 +1,140 @@
+// Cluster/experiment configuration.
+//
+// One struct drives everything: the experiment harness derives the open-loop
+// arrival rate from `target_load` analytically (using the distributions'
+// closed-form means), so sweeps express intent ("utilisation 0.7") rather
+// than raw rates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/types.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/rate_function.hpp"
+
+namespace das::core {
+
+/// How `target_load` is interpreted when deriving the arrival rate.
+enum class LoadCalibration {
+  /// Fraction of the aggregate nominal capacity (classic ρ). Under key skew
+  /// the hottest server can exceed 1.0 and the system destabilises.
+  kAverageCapacity,
+  /// Fraction of the HOTTEST server's capacity, computed exactly from the
+  /// key popularity law, per-key demands and placement. Keeps every sweep
+  /// (skew, heterogeneity) inside the stable region. Default.
+  kHottestServer,
+};
+
+/// How a client picks one replica to read from when replication > 1.
+enum class ReplicaSelection {
+  /// Always the primary (placement-preference order head).
+  kPrimary,
+  /// Uniformly random replica per operation.
+  kRandom,
+  /// The replica with the lowest estimated completion under the client's
+  /// learned per-server delay/speed view (C3-style replica ranking).
+  kLeastDelay,
+};
+
+struct ClusterConfig {
+  // --- topology -----------------------------------------------------------
+  std::size_t num_servers = 64;
+  std::size_t num_clients = 8;
+  /// Keyspace size = num_servers * keys_per_server.
+  std::uint64_t keys_per_server = 2'000;
+  /// 0 = modulo partitioner (perfectly balanced; default so scheduling
+  /// effects are not confounded by placement skew); > 0 = consistent-hash
+  /// ring with this many vnodes per server.
+  std::size_t ring_vnodes = 0;
+  /// Per-server storage backend: false = hash-table engine, true =
+  /// log-structured engine (functionally identical reads; exercises the
+  /// append/compact path under write workloads).
+  bool log_structured_storage = false;
+  /// Copies of every key (1 = no replication). Reads go to one replica
+  /// chosen by `replica_selection`; clamped to num_servers.
+  std::size_t replication = 1;
+  ReplicaSelection replica_selection = ReplicaSelection::kPrimary;
+
+  // --- workload -----------------------------------------------------------
+  double zipf_theta = 0.9;
+  /// Keys per multiget; geometric matches the heavy-tailed multiget widths
+  /// of production social workloads (mean 8 here).
+  IntDistPtr fanout = make_geometric(0.125, 128);
+  /// Value sizes in bytes; default roughly Facebook-ETC shaped.
+  RealDistPtr value_size_bytes = make_generalized_pareto(1.0, 250.0, 0.35, 64 * 1024.0);
+  /// Target utilisation in (0, 1); see `load_calibration`.
+  double target_load = 0.7;
+  LoadCalibration load_calibration = LoadCalibration::kHottestServer;
+  /// Fraction of requests that are single-key write-all PUTs (rest are
+  /// multigets). Calibration accounts for the write fan-out.
+  double write_fraction = 0.0;
+  /// Sizes written by PUTs; nullptr reuses value_size_bytes.
+  RealDistPtr write_size_bytes;
+  /// Optional arrival-rate modulation (multiplier, mean should be ~1).
+  workload::RatePtr load_profile;
+
+  // --- service model ------------------------------------------------------
+  /// Fixed CPU cost per operation (µs at nominal speed).
+  double per_op_overhead_us = 20.0;
+  /// Value transfer/processing rate (bytes per µs at nominal speed).
+  double service_bytes_per_us = 50.0;
+  /// Static per-server speed multipliers (empty = all 1.0). Length must be
+  /// num_servers when non-empty. 0.5 = a half-speed straggler.
+  std::vector<double> server_speed_factors;
+  /// Optional per-server time-varying speed multiplier profiles (empty =
+  /// constant 1.0; single entry = shared by all servers).
+  std::vector<workload::RatePtr> speed_profiles;
+
+  // --- scheduling ---------------------------------------------------------
+  sched::Policy policy = sched::Policy::kFcfs;
+  sched::SchedulerConfig sched_config;
+  /// Preempt-resume service (oracle upper bound; policies without a
+  /// preempts() hook are unaffected). The paper's setting is non-preemptive.
+  bool preemptive_service = false;
+
+  // --- DAS client side ----------------------------------------------------
+  /// Use piggybacked per-server delay/speed estimates when tagging (the
+  /// client half of adaptivity; forced off for the DAS-NA ablation).
+  bool client_adaptive = true;
+  /// Send sibling-progress messages so servers re-rank queued ops.
+  bool progress_updates = true;
+  /// EWMA smoothing of the client's per-server estimates.
+  double client_ewma_alpha = 0.3;
+  /// Server-side service-speed EWMA smoothing.
+  double server_speed_alpha = 0.1;
+  /// Request deadline offset for EDF (arrival + this).
+  Duration edf_slo_us = 10.0 * kMillisecond;
+
+  // --- network ------------------------------------------------------------
+  Duration net_latency_us = 5.0;
+  /// Lognormal jitter sigma; 0 = constant latency.
+  double net_jitter_sigma = 0.0;
+  /// Fault injection: independent per-message drop probability in [0, 1).
+  /// Requires retry_timeout_us > 0 so requests still complete.
+  double msg_loss_probability = 0.0;
+  /// Client retransmission timeout (exponential backoff); 0 disables.
+  Duration retry_timeout_us = 0.0;
+  /// Hedged reads: duplicate an unanswered op to another replica after this
+  /// delay (needs replication >= 2); 0 disables.
+  Duration hedge_delay_us = 0.0;
+  // (Message sizes are computed exactly by core/wire.hpp encoders.)
+
+  // --- run control --------------------------------------------------------
+  std::uint64_t seed = 42;
+  /// Collect a mean-RCT-per-bucket timeline (plotting adaptation
+  /// transients); 0 disables.
+  Duration timeline_bucket_us = 0;
+
+  /// Expected demand of one operation at nominal speed (µs).
+  double mean_op_demand_us() const;
+  /// Aggregate nominal service capacity (work-µs per µs) accounting for
+  /// static speed factors and the long-run average of the speed profiles.
+  double nominal_capacity(SimTime horizon) const;
+  /// Request arrival rate (requests/µs across all clients) that hits
+  /// target_load.
+  double derived_arrival_rate(SimTime horizon) const;
+};
+
+}  // namespace das::core

@@ -1,0 +1,30 @@
+#include "core/experiment.hpp"
+
+#include "common/check.hpp"
+
+namespace das::core {
+
+ExperimentResult run_experiment(const ClusterConfig& config, const RunWindow& window) {
+  Cluster cluster{config, window};
+  return cluster.run();
+}
+
+std::vector<PolicyRun> compare_policies(ClusterConfig base,
+                                        const std::vector<sched::Policy>& policies,
+                                        const RunWindow& window) {
+  std::vector<PolicyRun> runs;
+  runs.reserve(policies.size());
+  for (const sched::Policy policy : policies) {
+    base.policy = policy;
+    runs.push_back(PolicyRun{policy, run_experiment(base, window)});
+  }
+  return runs;
+}
+
+double rct_improvement(const ExperimentResult& baseline,
+                       const ExperimentResult& candidate) {
+  DAS_CHECK(baseline.rct.mean > 0);
+  return 1.0 - candidate.rct.mean / baseline.rct.mean;
+}
+
+}  // namespace das::core

@@ -1,0 +1,37 @@
+// Experiment harness: single runs and paired policy comparisons.
+//
+// compare_policies() runs the *same* seed (hence the same request stream,
+// key sizes and speed fluctuations) under each policy — the differences in
+// the summaries are purely scheduling, which is what the paper's figures
+// plot.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+
+namespace das::core {
+
+/// Builds a cluster from `config`, runs it, returns the aggregate result.
+ExperimentResult run_experiment(const ClusterConfig& config,
+                                const RunWindow& window = {});
+
+struct PolicyRun {
+  sched::Policy policy;
+  ExperimentResult result;
+};
+
+/// Runs `base` under each policy with identical workload randomness.
+std::vector<PolicyRun> compare_policies(ClusterConfig base,
+                                        const std::vector<sched::Policy>& policies,
+                                        const RunWindow& window = {});
+
+/// Mean-RCT improvement of `candidate` over `baseline` as a fraction
+/// (0.25 = 25% lower mean RCT).
+double rct_improvement(const ExperimentResult& baseline,
+                       const ExperimentResult& candidate);
+
+}  // namespace das::core

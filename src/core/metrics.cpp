@@ -1,0 +1,43 @@
+#include "core/metrics.hpp"
+
+#include "common/check.hpp"
+
+namespace das::core {
+
+void Metrics::enable_timeline(Duration bucket_us) {
+  DAS_CHECK(bucket_us >= 0);
+  timeline_bucket_us_ = bucket_us;
+}
+
+void Metrics::record_request(SimTime arrival, SimTime completion, std::size_t fan) {
+  DAS_CHECK(completion >= arrival);
+  if (timeline_bucket_us_ > 0) {
+    const auto bucket = static_cast<std::size_t>(completion / timeline_bucket_us_);
+    if (bucket >= timeline_buckets_.size()) timeline_buckets_.resize(bucket + 1);
+    timeline_buckets_[bucket].add(completion - arrival);
+  }
+  if (!in_window(arrival)) return;
+  rct_.add(completion - arrival);
+  fanout_.add(static_cast<double>(fan));
+}
+
+std::vector<Metrics::TimelinePoint> Metrics::timeline() const {
+  std::vector<TimelinePoint> points;
+  for (std::size_t b = 0; b < timeline_buckets_.size(); ++b) {
+    const StreamingStats& stats = timeline_buckets_[b];
+    if (stats.count() == 0) continue;
+    points.push_back(TimelinePoint{static_cast<double>(b) * timeline_bucket_us_,
+                                   stats.mean(), stats.count()});
+  }
+  return points;
+}
+
+void Metrics::record_operation(SimTime server_arrival, SimTime completion,
+                               Duration wait) {
+  DAS_CHECK(completion >= server_arrival);
+  if (!in_window(server_arrival)) return;
+  op_latency_.add(completion - server_arrival);
+  op_wait_.add(wait);
+}
+
+}  // namespace das::core

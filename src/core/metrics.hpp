@@ -1,0 +1,86 @@
+// Measurement collection for one simulation run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace das::core {
+
+/// Aggregated over the measurement window (requests that ARRIVE inside it;
+/// warmup and cooldown arrivals are excluded but still simulated).
+class Metrics {
+ public:
+  void set_window(SimTime begin, SimTime end) {
+    window_begin_ = begin;
+    window_end_ = end;
+  }
+  bool in_window(SimTime arrival) const {
+    return arrival >= window_begin_ && arrival < window_end_;
+  }
+
+  /// Additionally aggregates mean RCT into fixed buckets of request
+  /// COMPLETION time (bucketed over the whole run, warmup included), for
+  /// plotting adaptation transients. 0 disables.
+  void enable_timeline(Duration bucket_us);
+
+  void record_request(SimTime arrival, SimTime completion, std::size_t fanout);
+  void record_operation(SimTime server_arrival, SimTime completion, Duration wait);
+
+  const LatencyRecorder& rct() const { return rct_; }
+  const LatencyRecorder& op_latency() const { return op_latency_; }
+  const LatencyRecorder& op_wait() const { return op_wait_; }
+  const StreamingStats& fanout() const { return fanout_; }
+
+  std::uint64_t requests_measured() const { return rct_.moments().count(); }
+
+  /// One point per non-empty bucket: (bucket start time, mean RCT, count).
+  struct TimelinePoint {
+    SimTime bucket_start = 0;
+    double mean_rct = 0;
+    std::size_t count = 0;
+  };
+  std::vector<TimelinePoint> timeline() const;
+
+ private:
+  SimTime window_begin_ = 0;
+  SimTime window_end_ = kTimeInfinity;
+  LatencyRecorder rct_{1e9};
+  LatencyRecorder op_latency_{1e9};
+  LatencyRecorder op_wait_{1e9};
+  StreamingStats fanout_;
+  Duration timeline_bucket_us_ = 0;
+  std::vector<StreamingStats> timeline_buckets_;
+};
+
+/// What an experiment returns: the paper's reported quantities plus the
+/// accounting needed to sanity-check a run (conservation, utilisation).
+struct ExperimentResult {
+  LatencySummary rct;             // request completion time (µs)
+  LatencySummary op_latency;      // single-operation latency (µs)
+  LatencySummary op_wait;         // queueing wait component (µs)
+  std::uint64_t requests_generated = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_measured = 0;
+  std::uint64_t ops_generated = 0;
+  std::uint64_t ops_completed = 0;
+  double mean_server_utilization = 0;
+  double max_server_utilization = 0;
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_messages_dropped = 0;
+  std::uint64_t net_bytes = 0;
+  std::uint64_t progress_messages = 0;
+  std::uint64_t ops_retransmitted = 0;
+  std::uint64_t duplicate_responses = 0;
+  std::uint64_t ops_hedged = 0;
+  /// Mean RCT per completion-time bucket; empty unless the config enabled
+  /// timeline collection.
+  std::vector<Metrics::TimelinePoint> timeline;
+  double sim_duration_us = 0;
+  double wall_seconds = 0;
+};
+
+}  // namespace das::core

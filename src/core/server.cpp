@@ -1,0 +1,156 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace das::core {
+
+Server::Server(sim::Simulator& sim, Params params, sched::SchedulerPtr scheduler,
+               Metrics& metrics)
+    : sim_(sim),
+      params_(std::move(params)),
+      scheduler_(std::move(scheduler)),
+      metrics_(metrics) {
+  if (params_.log_structured_storage) {
+    storage_ = std::make_unique<store::LogStructuredEngine>();
+  } else {
+    storage_ = std::make_unique<store::StorageEngine>();
+  }
+  DAS_CHECK(scheduler_ != nullptr);
+  DAS_CHECK(params_.speed_factor > 0);
+  DAS_CHECK(params_.speed_alpha > 0 && params_.speed_alpha <= 1);
+  // Start the speed estimate at the static factor: a server knows its own
+  // hardware class; what it must *learn* is the time-varying component.
+  mu_hat_ = params_.speed_factor;
+  scheduler_->on_speed_estimate(mu_hat_);
+}
+
+void Server::set_response_handler(std::function<void(const OpResponse&)> handler) {
+  DAS_CHECK(handler != nullptr);
+  respond_ = std::move(handler);
+}
+
+void Server::populate(KeyId key, Bytes size) { storage_->put(key, size, 0); }
+
+void Server::set_utilization_window(SimTime begin, SimTime end) {
+  DAS_CHECK(begin <= end);
+  window_begin_ = begin;
+  window_end_ = end;
+}
+
+double Server::current_speed(SimTime now) const {
+  const double profile =
+      params_.speed_profile ? params_.speed_profile->value_at(now) : 1.0;
+  DAS_CHECK_MSG(profile > 0, "speed profile must stay positive");
+  return params_.speed_factor * profile;
+}
+
+double Server::d_hat_us() const {
+  return scheduler_->backlog_demand_us() / mu_hat_;
+}
+
+void Server::receive_op(const sched::OpContext& op) {
+  const SimTime now = sim_.now();
+  if (busy_ && params_.preemptive) {
+    // Snapshot the in-service op's remaining demand and ask the policy.
+    const double consumed = (now - current_started_) * current_speed_;
+    const double remaining = current_op_.demand_us - consumed;
+    if (remaining > 1e-9) {
+      sched::OpContext snapshot = current_op_;
+      snapshot.demand_us = remaining;
+      if (scheduler_->preempts(op, snapshot)) preempt_current();
+    }
+  }
+  scheduler_->enqueue(op, now);
+  maybe_start();
+}
+
+void Server::preempt_current() {
+  DAS_CHECK(busy_);
+  const SimTime now = sim_.now();
+  sim_.cancel(completion_event_);
+  completion_event_ = sim::EventHandle{};
+  note_busy_interval(current_started_, now);
+  const double consumed = (now - current_started_) * current_speed_;
+  current_op_.demand_us = std::max(current_op_.demand_us - consumed, 0.0);
+  busy_ = false;
+  ++preemptions_;
+  // Preempt-resume: the remainder rejoins the queue and competes normally.
+  scheduler_->enqueue(current_op_, now);
+}
+
+void Server::note_busy_interval(SimTime begin, SimTime end) {
+  const SimTime clip_begin = std::max(begin, window_begin_);
+  const SimTime clip_end = std::min(end, window_end_);
+  if (clip_end > clip_begin) busy_in_window_ += clip_end - clip_begin;
+}
+
+void Server::receive_progress(RequestId request,
+                              const sched::ProgressUpdate& update) {
+  scheduler_->on_request_progress(request, update, sim_.now());
+}
+
+void Server::maybe_start() {
+  if (busy_ || scheduler_->empty()) return;
+  const SimTime now = sim_.now();
+  current_op_ = scheduler_->dequeue(now);
+  current_started_ = now;
+  busy_ = true;
+  // The speed is sampled at dispatch; dwell times of the fluctuation
+  // processes are orders of magnitude longer than one service, so freezing
+  // the rate for the op's duration is a faithful approximation.
+  current_speed_ = current_speed(now);
+  const double service = current_op_.demand_us / current_speed_;
+  completion_event_ = sim_.schedule_after(service, [this] { complete_current(); });
+}
+
+void Server::complete_current() {
+  const SimTime now = sim_.now();
+  const Duration elapsed = now - current_started_;
+  DAS_CHECK(elapsed > 0);
+
+  // Adaptive service-speed estimate from the observed completion.
+  const double observed_speed = current_op_.demand_us / elapsed;
+  mu_hat_ += params_.speed_alpha * (observed_speed - mu_hat_);
+  scheduler_->on_speed_estimate(mu_hat_);
+
+  note_busy_interval(current_started_, now);
+  completion_event_ = sim::EventHandle{};
+
+  std::optional<store::ValueRecord> record;
+  if (current_op_.is_write) {
+    storage_->put(current_op_.key, current_op_.write_size, now);
+    record = *storage_->peek(current_op_.key);
+  } else {
+    record = storage_->get(current_op_.key, now);
+  }
+  ++ops_completed_;
+
+  metrics_.record_operation(current_op_.enqueued_at, now,
+                            current_started_ - current_op_.enqueued_at);
+
+  OpResponse resp;
+  resp.op_id = current_op_.op_id;
+  resp.request_id = current_op_.request_id;
+  resp.client = current_op_.client;
+  resp.server = params_.id;
+  resp.key = current_op_.key;
+  resp.hit = record.has_value();
+  resp.is_write = current_op_.is_write;
+  resp.value_size = record ? record->size : 0;
+  resp.completed_at = now;
+  resp.d_hat_us = d_hat_us();
+  resp.mu_hat = mu_hat_;
+
+  busy_ = false;
+  // Start the next op before responding: the response callback can inject
+  // new work (it runs through the network anyway), and the server must never
+  // idle with a non-empty queue.
+  maybe_start();
+
+  DAS_CHECK_MSG(respond_ != nullptr, "response handler not wired");
+  respond_(resp);
+}
+
+}  // namespace das::core

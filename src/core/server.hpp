@@ -1,0 +1,119 @@
+// Simulated store server: storage engine + operation scheduler + service
+// loop with time-varying speed and an adaptive service-rate estimator.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "store/log_engine.hpp"
+#include "store/storage_engine.hpp"
+#include "workload/rate_function.hpp"
+
+namespace das::core {
+
+/// What a server sends back to the client when an operation completes.
+/// `d_hat_us` / `mu_hat` are the piggybacked adaptive state: the advertised
+/// queueing-delay estimate and the observed service speed (1.0 = nominal).
+struct OpResponse {
+  OperationId op_id = 0;
+  RequestId request_id = 0;
+  ClientId client = 0;
+  ServerId server = 0;
+  KeyId key = 0;
+  Bytes value_size = 0;
+  bool hit = false;
+  bool is_write = false;
+  SimTime completed_at = 0;
+  double d_hat_us = 0;
+  double mu_hat = 1.0;
+};
+
+class Server {
+ public:
+  struct Params {
+    ServerId id = 0;
+    /// Static speed multiplier (0.5 = half-speed straggler).
+    double speed_factor = 1.0;
+    /// Optional time-varying multiplier on top of speed_factor.
+    workload::RatePtr speed_profile;  // nullptr = constant 1.0
+    /// EWMA smoothing for the service-speed estimate.
+    double speed_alpha = 0.1;
+    /// Preempt-resume service: an arriving operation that the scheduler's
+    /// preempts() hook prefers interrupts the one in service, whose
+    /// remaining demand is requeued. An oracle-style upper bound; real
+    /// stores (and the paper) serve operations to completion.
+    bool preemptive = false;
+    /// Storage backend: hash-table engine (default) or log-structured.
+    bool log_structured_storage = false;
+  };
+
+  Server(sim::Simulator& sim, Params params, sched::SchedulerPtr scheduler,
+         Metrics& metrics);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Response delivery hook; the cluster routes it through the network.
+  void set_response_handler(std::function<void(const OpResponse&)> handler);
+
+  /// Preloads a key (cluster initialisation, before time starts).
+  void populate(KeyId key, Bytes size);
+
+  /// An operation message arrived from the network.
+  void receive_op(const sched::OpContext& op);
+
+  /// A client-side progress message arrived: a sibling of `request`
+  /// completed and the scheduling estimates moved.
+  void receive_progress(RequestId request, const sched::ProgressUpdate& update);
+
+  /// Advertised queueing-delay estimate: backlog over estimated speed.
+  double d_hat_us() const;
+  double mu_hat() const { return mu_hat_; }
+  ServerId id() const { return params_.id; }
+  bool busy() const { return busy_; }
+  std::size_t queue_length() const { return scheduler_->size(); }
+
+  const sched::Scheduler& scheduler() const { return *scheduler_; }
+  const store::KvStore& storage() const { return *storage_; }
+
+  /// Busy-time accounting clipped to [begin, end) for utilisation metrics.
+  void set_utilization_window(SimTime begin, SimTime end);
+  double busy_time_in_window() const { return busy_in_window_; }
+
+  std::uint64_t ops_completed() const { return ops_completed_; }
+  std::uint64_t preemptions() const { return preemptions_; }
+
+ private:
+  double current_speed(SimTime now) const;
+  void maybe_start();
+  void complete_current();
+  /// Requeues the in-service op with its remaining demand.
+  void preempt_current();
+  void note_busy_interval(SimTime begin, SimTime end);
+
+  sim::Simulator& sim_;
+  Params params_;
+  sched::SchedulerPtr scheduler_;
+  Metrics& metrics_;
+  std::unique_ptr<store::KvStore> storage_;
+  std::function<void(const OpResponse&)> respond_;
+
+  bool busy_ = false;
+  sched::OpContext current_op_{};
+  SimTime current_started_ = 0;
+  double current_speed_ = 1.0;
+  sim::EventHandle completion_event_;
+  double mu_hat_ = 1.0;
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t preemptions_ = 0;
+
+  SimTime window_begin_ = 0;
+  SimTime window_end_ = kTimeInfinity;
+  double busy_in_window_ = 0;
+};
+
+}  // namespace das::core

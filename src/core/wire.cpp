@@ -1,0 +1,257 @@
+#include "core/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace das::core::wire {
+
+namespace {
+
+/// Little-endian fixed-width writer/reader. All doubles travel as their
+/// IEEE-754 bit pattern (both ends of the simulated protocol agree).
+class Writer {
+ public:
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  Buffer seal() {
+    const std::uint32_t sum = fletcher32(buf_.data(), buf_.size());
+    u32(sum);
+    return std::move(buf_);
+  }
+
+ private:
+  Buffer buf_;
+};
+
+class Reader {
+ public:
+  /// Verifies the trailer before any field read; invalid() stays true on a
+  /// bad checksum or short buffer.
+  explicit Reader(const Buffer& buf) : buf_(buf) {
+    if (buf.size() < 5) return;  // kind + trailer minimum
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i)
+      stored |= static_cast<std::uint32_t>(buf[buf.size() - 4 + i]) << (8 * i);
+    if (stored != fletcher32(buf.data(), buf.size() - 4)) return;
+    end_ = buf.size() - 4;
+    valid_ = true;
+  }
+
+  bool valid() const { return valid_ && pos_ <= end_; }
+
+  std::uint8_t u8() { return take(1) ? buf_[pos_ - 1] : 0; }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(buf_[pos_ - 4 + i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(buf_[pos_ - 8 + i]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool exhausted() const { return pos_ == end_; }
+
+ private:
+  bool take(std::size_t n) {
+    if (!valid_ || pos_ + n > end_) {
+      valid_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const Buffer& buf_;
+  std::size_t pos_ = 0;
+  std::size_t end_ = 0;
+  bool valid_ = false;
+};
+
+// Fixed field budgets (bytes, excluding the 4-byte trailer).
+constexpr std::size_t kOpFixed = 1      // kind
+                                 + 8    // op_id
+                                 + 8    // request_id
+                                 + 4    // client
+                                 + 8    // key
+                                 + 8    // demand
+                                 + 8    // request_arrival
+                                 + 8    // remaining_critical
+                                 + 8    // est_other_completion
+                                 + 4    // bottleneck_ops
+                                 + 8    // bottleneck_demand
+                                 + 8    // total_demand
+                                 + 8    // deadline
+                                 + 1    // is_write
+                                 + 8;   // write_size
+constexpr std::size_t kResponseFixed = 1 + 8 + 8 + 4 + 4 + 8 + 1 + 1 + 8 + 8 + 8 + 8;
+constexpr std::size_t kProgressFixed = 1 + 8 + 8 + 8 + 8;
+constexpr std::size_t kTrailer = 4;
+
+}  // namespace
+
+std::uint32_t fletcher32(const std::uint8_t* data, std::size_t size) {
+  // Operates on 16-bit words (pad the odd byte with zero), modulo 65535.
+  std::uint32_t c0 = 0, c1 = 0;
+  std::size_t i = 0;
+  while (i < size) {
+    // Block size 360 keeps the sums below 2^32 before reduction.
+    const std::size_t block_end = std::min(size, i + 720);
+    for (; i + 1 < block_end; i += 2) {
+      c0 += static_cast<std::uint32_t>(data[i]) |
+            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+      c1 += c0;
+    }
+    if (i < block_end) {  // trailing odd byte
+      c0 += data[i];
+      c1 += c0;
+      ++i;
+    }
+    c0 %= 65535;
+    c1 %= 65535;
+  }
+  return (c1 << 16) | c0;
+}
+
+Buffer encode_op(const sched::OpContext& op) {
+  Writer w{kOpFixed + kTrailer};
+  w.u8(static_cast<std::uint8_t>(MessageKind::kOpRequest));
+  w.u64(op.op_id);
+  w.u64(op.request_id);
+  w.u32(op.client);
+  w.u64(op.key);
+  w.f64(op.demand_us);
+  w.f64(op.request_arrival);
+  w.f64(op.remaining_critical_us);
+  w.f64(op.est_other_completion);
+  w.u32(op.bottleneck_ops);
+  w.f64(op.bottleneck_demand_us);
+  w.f64(op.total_demand_us);
+  w.f64(op.deadline);
+  w.u8(op.is_write ? 1 : 0);
+  w.u64(op.write_size);
+  return w.seal();
+}
+
+std::optional<sched::OpContext> decode_op(const Buffer& buffer) {
+  Reader r{buffer};
+  if (!r.valid()) return std::nullopt;
+  if (r.u8() != static_cast<std::uint8_t>(MessageKind::kOpRequest))
+    return std::nullopt;
+  sched::OpContext op;
+  op.op_id = r.u64();
+  op.request_id = r.u64();
+  op.client = r.u32();
+  op.key = r.u64();
+  op.demand_us = r.f64();
+  op.request_arrival = r.f64();
+  op.remaining_critical_us = r.f64();
+  op.est_other_completion = r.f64();
+  op.bottleneck_ops = r.u32();
+  op.bottleneck_demand_us = r.f64();
+  op.total_demand_us = r.f64();
+  op.deadline = r.f64();
+  op.is_write = r.u8() != 0;
+  op.write_size = r.u64();
+  if (!r.valid() || !r.exhausted()) return std::nullopt;
+  return op;
+}
+
+std::size_t op_wire_size(const sched::OpContext&) { return kOpFixed + kTrailer; }
+
+Buffer encode_response(const OpResponse& resp) {
+  Writer w{kResponseFixed + kTrailer};
+  w.u8(static_cast<std::uint8_t>(MessageKind::kOpResponse));
+  w.u64(resp.op_id);
+  w.u64(resp.request_id);
+  w.u32(resp.client);
+  w.u32(resp.server);
+  w.u64(resp.key);
+  w.u8(resp.hit ? 1 : 0);
+  w.u8(resp.is_write ? 1 : 0);
+  w.u64(resp.value_size);
+  w.f64(resp.completed_at);
+  w.f64(resp.d_hat_us);
+  w.f64(resp.mu_hat);
+  return w.seal();
+}
+
+std::optional<OpResponse> decode_response(const Buffer& buffer) {
+  Reader r{buffer};
+  if (!r.valid()) return std::nullopt;
+  if (r.u8() != static_cast<std::uint8_t>(MessageKind::kOpResponse))
+    return std::nullopt;
+  OpResponse resp;
+  resp.op_id = r.u64();
+  resp.request_id = r.u64();
+  resp.client = r.u32();
+  resp.server = r.u32();
+  resp.key = r.u64();
+  resp.hit = r.u8() != 0;
+  resp.is_write = r.u8() != 0;
+  resp.value_size = r.u64();
+  resp.completed_at = r.f64();
+  resp.d_hat_us = r.f64();
+  resp.mu_hat = r.f64();
+  if (!r.valid() || !r.exhausted()) return std::nullopt;
+  return resp;
+}
+
+std::size_t response_wire_size(const OpResponse& resp) {
+  // Header plus the value payload for read hits (writes ack without data).
+  return kResponseFixed + kTrailer +
+         (resp.hit && !resp.is_write ? resp.value_size : 0);
+}
+
+Buffer encode_progress(RequestId request, const sched::ProgressUpdate& update) {
+  Writer w{kProgressFixed + kTrailer};
+  w.u8(static_cast<std::uint8_t>(MessageKind::kProgress));
+  w.u64(request);
+  w.f64(update.remaining_critical_us);
+  w.f64(update.est_other_completion);
+  w.f64(update.remaining_total_us);
+  return w.seal();
+}
+
+std::optional<DecodedProgress> decode_progress(const Buffer& buffer) {
+  Reader r{buffer};
+  if (!r.valid()) return std::nullopt;
+  if (r.u8() != static_cast<std::uint8_t>(MessageKind::kProgress))
+    return std::nullopt;
+  DecodedProgress out;
+  out.request = r.u64();
+  out.update.remaining_critical_us = r.f64();
+  out.update.est_other_completion = r.f64();
+  out.update.remaining_total_us = r.f64();
+  if (!r.valid() || !r.exhausted()) return std::nullopt;
+  return out;
+}
+
+std::size_t progress_wire_size() { return kProgressFixed + kTrailer; }
+
+}  // namespace das::core::wire

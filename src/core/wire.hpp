@@ -1,0 +1,56 @@
+// Wire format for the client/server protocol.
+//
+// Fixed-layout little-endian encoding with a Fletcher-32 trailer. The
+// simulator does not ship real bytes between entities — everything is
+// in-process — but the encoders make the protocol concrete: the cluster
+// charges the network with the EXACT encoded size of every message, the
+// overhead study (E12) reports real bytes, and the codecs are round-trip
+// fuzzed so the format is implementable outside the simulator as-is.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/server.hpp"
+#include "sched/op_context.hpp"
+
+namespace das::core::wire {
+
+using Buffer = std::vector<std::uint8_t>;
+
+/// Message kind tags (first byte of every message).
+enum class MessageKind : std::uint8_t {
+  kOpRequest = 1,
+  kOpResponse = 2,
+  kProgress = 3,
+};
+
+/// Fletcher-32 over a byte range (the 4-byte trailer of every message).
+std::uint32_t fletcher32(const std::uint8_t* data, std::size_t size);
+
+/// --- operation request ----------------------------------------------------
+Buffer encode_op(const sched::OpContext& op);
+/// Decodes and verifies the checksum; nullopt on truncation, corruption or
+/// kind mismatch. Server-local fields (enqueued_at) are not transmitted.
+std::optional<sched::OpContext> decode_op(const Buffer& buffer);
+/// Exact encoded size without building the buffer.
+std::size_t op_wire_size(const sched::OpContext& op);
+
+/// --- operation response ---------------------------------------------------
+/// The value payload is accounted for in wire size but not materialised.
+Buffer encode_response(const OpResponse& resp);
+std::optional<OpResponse> decode_response(const Buffer& buffer);
+std::size_t response_wire_size(const OpResponse& resp);
+
+/// --- progress update --------------------------------------------------------
+Buffer encode_progress(RequestId request, const sched::ProgressUpdate& update);
+struct DecodedProgress {
+  RequestId request = 0;
+  sched::ProgressUpdate update;
+};
+std::optional<DecodedProgress> decode_progress(const Buffer& buffer);
+std::size_t progress_wire_size();
+
+}  // namespace das::core::wire

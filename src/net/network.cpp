@@ -1,0 +1,109 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace das::net {
+
+namespace {
+
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(Duration d) : d_(d) { DAS_CHECK(d >= 0); }
+  Duration sample(Rng&) const override { return d_; }
+  Duration mean() const override { return d_; }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "constant(" << d_ << "us)";
+    return os.str();
+  }
+
+ private:
+  Duration d_;
+};
+
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
+    DAS_CHECK(lo >= 0);
+    DAS_CHECK(lo <= hi);
+  }
+  Duration sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  Duration mean() const override { return 0.5 * (lo_ + hi_); }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "uniform(" << lo_ << ", " << hi_ << "us)";
+    return os.str();
+  }
+
+ private:
+  Duration lo_, hi_;
+};
+
+class LognormalLatency final : public LatencyModel {
+ public:
+  LognormalLatency(Duration mean, double sigma) : mean_(mean), sigma_(sigma) {
+    DAS_CHECK(mean > 0);
+    DAS_CHECK(sigma >= 0);
+    mu_ = std::log(mean) - 0.5 * sigma * sigma;
+  }
+  Duration sample(Rng& rng) const override { return rng.lognormal(mu_, sigma_); }
+  Duration mean() const override { return mean_; }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "lognormal(mean=" << mean_ << "us, sigma=" << sigma_ << ")";
+    return os.str();
+  }
+
+ private:
+  Duration mean_, sigma_, mu_;
+};
+
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+LatencyPtr make_constant_latency(Duration d) {
+  return std::make_shared<ConstantLatency>(d);
+}
+LatencyPtr make_uniform_latency(Duration lo, Duration hi) {
+  return std::make_shared<UniformLatency>(lo, hi);
+}
+LatencyPtr make_lognormal_latency(Duration mean, double sigma) {
+  return std::make_shared<LognormalLatency>(mean, sigma);
+}
+
+Network::Network(sim::Simulator& sim, Config config, Rng rng)
+    : sim_(sim), config_(std::move(config)), rng_(rng) {
+  DAS_CHECK(config_.latency != nullptr);
+  DAS_CHECK(config_.bandwidth_bytes_per_us >= 0);
+  DAS_CHECK(config_.loss_probability >= 0 && config_.loss_probability < 1);
+}
+
+void Network::send(NodeId from, NodeId to, Bytes size, std::function<void()> deliver) {
+  DAS_CHECK(deliver != nullptr);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += size;
+  if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  Duration delay = config_.latency->sample(rng_);
+  if (config_.bandwidth_bytes_per_us > 0) {
+    delay += static_cast<double>(size) / config_.bandwidth_bytes_per_us;
+  }
+  SimTime arrival = sim_.now() + delay;
+  if (config_.fifo_per_link) {
+    auto& last = link_last_delivery_[link_key(from, to)];
+    arrival = std::max(arrival, last);
+    last = arrival;
+  }
+  sim_.schedule_at(arrival, std::move(deliver));
+}
+
+}  // namespace das::net

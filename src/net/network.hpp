@@ -1,0 +1,86 @@
+// Simulated message-passing network.
+//
+// Everything runs in one process, so a "message" is a callback scheduled
+// after a sampled propagation delay plus an optional serialisation delay
+// (size / bandwidth). Per-link FIFO ordering is enforced by default — jitter
+// never reorders messages on the same (src, dst) pair, matching a TCP
+// connection — because schedulers downstream rely on feedback arriving in
+// causal order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace das::net {
+
+/// Network node address. Clients and servers share one address space; the
+/// cluster assigns servers [0, N) and clients [N, N+C).
+using NodeId = std::uint32_t;
+
+/// One-way propagation delay family.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual Duration sample(Rng& rng) const = 0;
+  virtual Duration mean() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using LatencyPtr = std::shared_ptr<const LatencyModel>;
+
+/// Constant delay.
+LatencyPtr make_constant_latency(Duration d);
+/// Uniform on [lo, hi].
+LatencyPtr make_uniform_latency(Duration lo, Duration hi);
+/// Lognormal with the given mean and underlying-normal sigma — the classic
+/// "mostly tight, occasionally spiky" datacenter RTT shape.
+LatencyPtr make_lognormal_latency(Duration mean, double sigma);
+
+/// Per-network traffic counters.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  Bytes bytes_sent = 0;
+};
+
+class Network {
+ public:
+  struct Config {
+    LatencyPtr latency;
+    /// Serialisation rate in bytes per microsecond; 0 disables the
+    /// size-dependent component (infinitely fast NIC).
+    double bandwidth_bytes_per_us = 0.0;
+    /// Keep per-(src,dst) delivery order even under jitter.
+    bool fifo_per_link = true;
+    /// Independent per-message drop probability in [0, 1); dropped messages
+    /// are counted but never delivered (fault injection — end-to-end
+    /// recovery is the clients' responsibility).
+    double loss_probability = 0.0;
+  };
+
+  Network(sim::Simulator& sim, Config config, Rng rng);
+
+  /// Sends `size` bytes from `from` to `to`; `deliver` runs at the receiver
+  /// when the message arrives.
+  void send(NodeId from, NodeId to, Bytes size, std::function<void()> deliver);
+
+  const NetworkStats& stats() const { return stats_; }
+  Duration mean_latency() const { return config_.latency->mean(); }
+
+ private:
+  sim::Simulator& sim_;
+  Config config_;
+  Rng rng_;
+  NetworkStats stats_;
+  /// Last scheduled delivery time per directed link, for FIFO clamping.
+  std::unordered_map<std::uint64_t, SimTime> link_last_delivery_;
+};
+
+}  // namespace das::net

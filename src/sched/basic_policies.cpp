@@ -1,0 +1,64 @@
+#include "sched/basic_policies.hpp"
+
+namespace das::sched {
+
+void FcfsScheduler::enqueue(const OpContext& op, SimTime now) {
+  OpContext copy = op;
+  copy.enqueued_at = now;
+  note_in(copy);
+  queue_.push_back(std::move(copy));
+}
+
+OpContext FcfsScheduler::dequeue(SimTime) {
+  DAS_CHECK(!queue_.empty());
+  OpContext op = std::move(queue_.front());
+  queue_.pop_front();
+  note_out(op);
+  return op;
+}
+
+void RandomScheduler::enqueue(const OpContext& op, SimTime now) {
+  OpContext copy = op;
+  copy.enqueued_at = now;
+  note_in(copy);
+  queue_.push_back(std::move(copy));
+}
+
+OpContext RandomScheduler::dequeue(SimTime) {
+  DAS_CHECK(!queue_.empty());
+  const std::size_t idx =
+      static_cast<std::size_t>(rng_.next_below(queue_.size()));
+  std::swap(queue_[idx], queue_.back());
+  OpContext op = std::move(queue_.back());
+  queue_.pop_back();
+  note_out(op);
+  return op;
+}
+
+void SjfScheduler::enqueue(const OpContext& op, SimTime now) {
+  OpContext copy = op;
+  copy.enqueued_at = now;
+  note_in(copy);
+  queue_.insert(copy.demand_us, std::move(copy));
+}
+
+OpContext SjfScheduler::dequeue(SimTime) {
+  OpContext op = queue_.pop_min();
+  note_out(op);
+  return op;
+}
+
+void EdfScheduler::enqueue(const OpContext& op, SimTime now) {
+  OpContext copy = op;
+  copy.enqueued_at = now;
+  note_in(copy);
+  queue_.insert(copy.deadline, std::move(copy));
+}
+
+OpContext EdfScheduler::dequeue(SimTime) {
+  OpContext op = queue_.pop_min();
+  note_out(op);
+  return op;
+}
+
+}  // namespace das::sched

@@ -1,0 +1,66 @@
+// Baseline policies: FCFS, Random, SJF, EDF.
+//
+// These need no request-level feedback; their priority is frozen at enqueue.
+// They exist both as the paper's comparison points (FCFS is the stores'
+// default) and as controls in the test suite.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/keyed_queue.hpp"
+#include "sched/scheduler_base.hpp"
+
+namespace das::sched {
+
+/// First-come first-served: the default behaviour of memcached/Redis-style
+/// stores and the paper's primary baseline.
+class FcfsScheduler final : public SchedulerBase {
+ public:
+  void enqueue(const OpContext& op, SimTime now) override;
+  OpContext dequeue(SimTime now) override;
+  std::string name() const override { return "fcfs"; }
+
+ private:
+  std::deque<OpContext> queue_;
+};
+
+/// Uniformly random order; a sanity floor — any informed policy must beat it.
+class RandomScheduler final : public SchedulerBase {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  void enqueue(const OpContext& op, SimTime now) override;
+  OpContext dequeue(SimTime now) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  std::vector<OpContext> queue_;
+  Rng rng_;
+};
+
+/// Shortest (local) job first: orders by the op's own demand only, ignoring
+/// the request structure. Separates "size awareness" from "fork-join
+/// awareness" in the evaluation.
+class SjfScheduler final : public SchedulerBase {
+ public:
+  void enqueue(const OpContext& op, SimTime now) override;
+  OpContext dequeue(SimTime now) override;
+  std::string name() const override { return "sjf"; }
+
+ private:
+  KeyedQueue<double> queue_;
+};
+
+/// Earliest deadline first on the request deadline tag.
+class EdfScheduler final : public SchedulerBase {
+ public:
+  void enqueue(const OpContext& op, SimTime now) override;
+  OpContext dequeue(SimTime now) override;
+  std::string name() const override { return "edf"; }
+
+ private:
+  KeyedQueue<SimTime> queue_;
+};
+
+}  // namespace das::sched

@@ -1,0 +1,156 @@
+#include "sched/das.hpp"
+
+#include <cmath>
+
+namespace das::sched {
+
+DasScheduler::DasScheduler(Options options) : options_(options) {
+  DAS_CHECK(options_.max_wait_us > 0);
+  DAS_CHECK(options_.defer_margin > 0);
+}
+
+std::string DasScheduler::name() const {
+  if (options_.primary_key == PrimaryKey::kCriticalPath) return "das-crit";
+  if (!options_.adaptive) return "das-na";
+  if (!options_.defer) return "das-nd";
+  if (options_.max_wait_us == kTimeInfinity) return "das-noaging";
+  return "das";
+}
+
+void DasScheduler::on_speed_estimate(double speed) {
+  if (!options_.adaptive) return;
+  DAS_CHECK(speed > 0);
+  mu_hat_ = speed;
+}
+
+Duration DasScheduler::drain_time_us() const {
+  return backlog_demand_us() / mu_hat_;
+}
+
+bool DasScheduler::safe_to_defer(SimTime est_other_completion, SimTime now) const {
+  if (!options_.defer) return false;
+  if (est_other_completion <= 0) return false;  // no siblings elsewhere
+  // Even if served after everything currently queued, the op would complete
+  // around now + drain_time; if the request cannot finish before
+  // est_other_completion anyway, deferring costs its RCT nothing.
+  return est_other_completion - now > drain_time_us() * options_.defer_margin;
+}
+
+bool DasScheduler::preempts(const OpContext& incoming,
+                            const OpContext& in_service) const {
+  return active_key(incoming) < active_key(in_service);
+}
+
+double DasScheduler::active_key(const OpContext& op) const {
+  return options_.primary_key == PrimaryKey::kTotalRemaining
+             ? op.total_demand_us
+             : op.remaining_critical_us;
+}
+
+void DasScheduler::place(Handle h, Record& rec, SimTime now) {
+  rec.in_deferred = safe_to_defer(rec.op.est_other_completion, now);
+  if (rec.in_deferred) {
+    ++total_deferrals_;
+    deferred_.insert(OrderKey{rec.op.est_other_completion, h});
+  } else {
+    active_.insert(OrderKey{active_key(rec.op), h});
+  }
+}
+
+void DasScheduler::unlink(Handle h, const Record& rec) {
+  auto& set = rec.in_deferred ? deferred_ : active_;
+  const double key =
+      rec.in_deferred ? rec.op.est_other_completion : active_key(rec.op);
+  const auto erased = set.erase(OrderKey{key, h});
+  DAS_CHECK_MSG(erased == 1, "DAS order-set desync");
+}
+
+void DasScheduler::enqueue(const OpContext& op, SimTime now) {
+  const Handle h = next_handle_++;
+  Record rec;
+  rec.op = op;
+  rec.op.enqueued_at = now;
+  note_in(rec.op);
+  place(h, rec, now);
+  fifo_.push_back(h);
+  by_request_[op.request_id].insert(h);
+  records_.emplace(h, std::move(rec));
+}
+
+OpContext DasScheduler::finish(Handle h) {
+  auto it = records_.find(h);
+  DAS_CHECK(it != records_.end());
+  unlink(h, it->second);
+  OpContext op = std::move(it->second.op);
+  auto by_req = by_request_.find(op.request_id);
+  if (by_req != by_request_.end()) {
+    by_req->second.erase(h);
+    if (by_req->second.empty()) by_request_.erase(by_req);
+  }
+  records_.erase(it);
+  note_out(op);
+  return op;
+}
+
+void DasScheduler::migrate_due(SimTime now) {
+  // The deferred set is ordered by deferral expiry (est_other_completion):
+  // its minimum is the least-safe element. While that element's window has
+  // closed — time passed, or the backlog shrank — it re-enters the runnable
+  // set; once the minimum is safe, all later ones are too.
+  while (!deferred_.empty()) {
+    const OrderKey front = *deferred_.begin();
+    if (safe_to_defer(front.k, now)) break;
+    deferred_.erase(deferred_.begin());
+    auto it = records_.find(front.h);
+    DAS_CHECK(it != records_.end());
+    it->second.in_deferred = false;
+    active_.insert(OrderKey{active_key(it->second.op), front.h});
+  }
+}
+
+OpContext DasScheduler::dequeue(SimTime now) {
+  DAS_CHECK(!empty());
+  // 1. Aging: the oldest op is served unconditionally past its wait bound.
+  if (options_.max_wait_us != kTimeInfinity) {
+    while (!fifo_.empty() && records_.count(fifo_.front()) == 0) fifo_.pop_front();
+    if (!fifo_.empty()) {
+      const Handle h = fifo_.front();
+      if (now - records_.at(h).op.enqueued_at > options_.max_wait_us) {
+        fifo_.pop_front();
+        ++aging_promotions_;
+        return finish(h);
+      }
+    }
+  }
+  // 2. Wake deferred ops whose safety window closed.
+  migrate_due(now);
+  // 3. SRPT-first on the runnable set; fall back to the deferred set so the
+  // server never idles with work queued (work conservation).
+  if (!active_.empty()) return finish(active_.begin()->h);
+  DAS_CHECK(!deferred_.empty());
+  return finish(deferred_.begin()->h);
+}
+
+void DasScheduler::on_request_progress(RequestId request, const ProgressUpdate& update,
+                                       SimTime now) {
+  const auto it = by_request_.find(request);
+  if (it == by_request_.end()) return;
+  // Re-key every queued op of the request and re-evaluate its deferral.
+  for (const Handle h : it->second) {
+    auto rec_it = records_.find(h);
+    DAS_CHECK(rec_it != records_.end());
+    Record& rec = rec_it->second;
+    if (rec.op.remaining_critical_us == update.remaining_critical_us &&
+        rec.op.est_other_completion == update.est_other_completion &&
+        rec.op.total_demand_us == update.remaining_total_us) {
+      continue;
+    }
+    unlink(h, rec);
+    rec.op.remaining_critical_us = update.remaining_critical_us;
+    rec.op.est_other_completion = update.est_other_completion;
+    rec.op.total_demand_us = update.remaining_total_us;
+    place(h, rec, now);
+  }
+}
+
+}  // namespace das::sched

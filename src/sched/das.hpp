@@ -1,0 +1,132 @@
+// DAS — the Distributed Adaptive Scheduler (the paper's contribution).
+//
+// "A distributed combination of the largest remaining processing time last
+// and shortest remaining processing time first algorithms" (the abstract)
+// maps onto two mechanisms driven by client-computed tags:
+//
+//   SRPT-first — the runnable queue is ordered by the request's REMAINING
+//       PROCESSING TIME: its total remaining service demand across all
+//       servers (`total_demand_us`, shrunk by progress messages as siblings
+//       complete). Requests that need the least further service finish
+//       first, draining the in-flight population fastest — the classic
+//       mean-flow-time argument, lifted to the fork-join setting. The key
+//       deliberately contains no queueing-delay term: queueing is the
+//       scheduler's own decision variable, and folding it into the priority
+//       collapses the ordering back to FCFS under load.
+//
+//   LRPT-last — an operation whose request still has a LARGE remaining time
+//       elsewhere gains nothing from running early here. The client tags
+//       each op with `est_other_completion`, the earliest ABSOLUTE time its
+//       request could complete considering only siblings on OTHER servers
+//       (tag time + rtt + advertised delay + service). While that bound lies
+//       beyond this server's drain horizon (backlog / mu_hat), even serving
+//       the op dead last cannot hurt its request, so it parks in a deferred
+//       set and yields to operations on their request's critical path.
+//
+// Adaptivity enters in three places: the client's per-server mu/delay
+// estimates feeding the tags (learned from response piggybacks), the
+// server's own EWMA speed estimate mu_hat scaling the drain horizon, and
+// progress messages re-keying queued operations when siblings complete. An
+// aging bound serves the globally oldest operation unconditionally once its
+// wait exceeds max_wait, preventing starvation of wide requests.
+//
+// Each mechanism switches off independently for the ablation study, and the
+// primary key can be switched to the request's critical-path remaining time
+// (max instead of sum) to quantify why total remaining is the right notion.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sched/scheduler_base.hpp"
+
+namespace das::sched {
+
+class DasScheduler final : public SchedulerBase {
+ public:
+  /// What "remaining processing time" means for the SRPT-first ordering.
+  enum class PrimaryKey {
+    /// Total remaining service demand of the request (the paper's notion;
+    /// matches concurrent-open-shop theory for the sum objective).
+    kTotalRemaining,
+    /// Critical-path remaining time (max per-server remaining); an ablation
+    /// that quantifies why the total is the right notion.
+    kCriticalPath,
+  };
+
+  struct Options {
+    /// Track the server's speed estimate; false freezes mu_hat at its
+    /// initial value (the DAS-NA ablation's server half).
+    bool adaptive = true;
+    /// Enable the LRPT-last deferred set; false = pure SRPT-first
+    /// (the DAS-ND ablation).
+    bool defer = true;
+    /// Starvation bound; infinity disables aging.
+    Duration max_wait_us = 50.0 * kMillisecond;
+    /// Margin multiplier on the safe-deferral test; > 1 defers less.
+    double defer_margin = 2.0;
+    PrimaryKey primary_key = PrimaryKey::kTotalRemaining;
+  };
+
+  explicit DasScheduler(Options options);
+
+  void enqueue(const OpContext& op, SimTime now) override;
+  OpContext dequeue(SimTime now) override;
+  void on_request_progress(RequestId request, const ProgressUpdate& update,
+                           SimTime now) override;
+  void on_speed_estimate(double speed) override;
+  /// Oracle-mode preemption on the primary key (only used when the server
+  /// runs preemptively; the paper's DAS is non-preemptive).
+  bool preempts(const OpContext& incoming, const OpContext& in_service) const override;
+  std::string name() const override;
+
+  /// Introspection for tests and the overhead bench.
+  std::size_t deferred_count() const { return deferred_.size(); }
+  std::size_t active_count() const { return active_.size(); }
+  double speed_estimate() const { return mu_hat_; }
+  std::uint64_t total_deferrals() const { return total_deferrals_; }
+  std::uint64_t aging_promotions() const { return aging_promotions_; }
+
+ private:
+  using Handle = std::uint64_t;
+
+  struct OrderKey {
+    double k;  // active: remaining_critical_us; deferred: est_other_completion
+    Handle h;
+    bool operator<(const OrderKey& o) const {
+      return k != o.k ? k < o.k : h < o.h;
+    }
+  };
+
+  struct Record {
+    OpContext op;
+    bool in_deferred = false;
+  };
+
+  /// Estimated time to drain the entire current backlog at current speed.
+  Duration drain_time_us() const;
+  double active_key(const OpContext& op) const;
+  bool safe_to_defer(SimTime est_other_completion, SimTime now) const;
+  void place(Handle h, Record& rec, SimTime now);
+  void unlink(Handle h, const Record& rec);
+  OpContext finish(Handle h);
+  void migrate_due(SimTime now);
+
+  Options options_;
+  double mu_hat_ = 1.0;
+
+  std::unordered_map<Handle, Record> records_;
+  std::set<OrderKey> active_;    // runnable, SRPT-first by critical remaining
+  std::set<OrderKey> deferred_;  // safely deferrable, by deferral expiry
+  std::deque<Handle> fifo_;      // arrival order, for aging
+  std::unordered_map<RequestId, std::unordered_set<Handle>> by_request_;
+  Handle next_handle_ = 0;
+  std::uint64_t total_deferrals_ = 0;
+  std::uint64_t aging_promotions_ = 0;
+};
+
+}  // namespace das::sched

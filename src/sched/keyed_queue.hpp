@@ -1,0 +1,121 @@
+// Ordered operation queue with stable handles.
+//
+// Most policies are "serve the minimum of some key, ties by arrival". This
+// container provides exactly that plus O(log n) removal/re-keying by handle,
+// which the feedback-driven policies (Rein aging, DAS re-ranking) need. Keys
+// are totally ordered via operator<; equal keys dequeue in insertion order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sched/op_context.hpp"
+
+namespace das::sched {
+
+template <typename Key>
+class KeyedQueue {
+ public:
+  using Handle = std::uint64_t;
+
+  Handle insert(Key key, OpContext op) {
+    const Handle h = next_seq_++;
+    order_.emplace(OrderEntry{std::move(key), h});
+    ops_.emplace(h, std::move(op));
+    return h;
+  }
+
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+
+  /// Key of the front element. Precondition: !empty().
+  const Key& min_key() const {
+    DAS_CHECK(!empty());
+    return order_.begin()->key;
+  }
+
+  /// Front element's handle. Precondition: !empty().
+  Handle min_handle() const {
+    DAS_CHECK(!empty());
+    return order_.begin()->handle;
+  }
+
+  /// Read-only access to the front op. Precondition: !empty().
+  const OpContext& peek_min() const { return ops_.at(min_handle()); }
+
+  /// Removes and returns the front op.
+  OpContext pop_min() {
+    DAS_CHECK(!empty());
+    const auto it = order_.begin();
+    const Handle h = it->handle;
+    order_.erase(it);
+    return take(h);
+  }
+
+  bool contains(Handle h) const { return ops_.count(h) != 0; }
+
+  /// Removes an arbitrary element by handle. Precondition: contains(h).
+  OpContext remove(Handle h) {
+    auto node = ops_.find(h);
+    DAS_CHECK(node != ops_.end());
+    // Erase the matching order entry; we must find it by scanning the equal-
+    // key range, so callers pass the key they inserted with via rekey()/
+    // remove_with_key() when they have it. Generic remove falls back to a
+    // linear scan only in the rare handle-without-key path.
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (it->handle == h) {
+        order_.erase(it);
+        return take(h);
+      }
+    }
+    DAS_CHECK_MSG(false, "KeyedQueue order/ops desync");
+    return {};
+  }
+
+  /// O(log n) removal when the caller remembers the insertion key.
+  OpContext remove_with_key(const Key& key, Handle h) {
+    auto it = order_.find(OrderEntry{key, h});
+    DAS_CHECK_MSG(it != order_.end(), "stale key passed to remove_with_key");
+    order_.erase(it);
+    return take(h);
+  }
+
+  /// Re-keys an element in O(log n); the handle stays valid.
+  void rekey(const Key& old_key, Handle h, Key new_key) {
+    auto it = order_.find(OrderEntry{old_key, h});
+    DAS_CHECK_MSG(it != order_.end(), "stale key passed to rekey");
+    order_.erase(it);
+    order_.emplace(OrderEntry{std::move(new_key), h});
+  }
+
+  /// Read-only access by handle. Precondition: contains(h).
+  const OpContext& at(Handle h) const { return ops_.at(h); }
+
+ private:
+  struct OrderEntry {
+    Key key;
+    Handle handle;
+    bool operator<(const OrderEntry& o) const {
+      if (key < o.key) return true;
+      if (o.key < key) return false;
+      return handle < o.handle;
+    }
+  };
+
+  OpContext take(Handle h) {
+    auto node = ops_.find(h);
+    OpContext out = std::move(node->second);
+    ops_.erase(node);
+    return out;
+  }
+
+  std::set<OrderEntry> order_;
+  std::unordered_map<Handle, OpContext> ops_;
+  Handle next_seq_ = 0;
+};
+
+}  // namespace das::sched

@@ -1,0 +1,78 @@
+#include "sched/rein.hpp"
+
+#include <cmath>
+
+namespace das::sched {
+
+ReinSbfScheduler::ReinSbfScheduler(Options options) : options_(options) {
+  DAS_CHECK(options_.levels >= 2);
+  DAS_CHECK(options_.threshold_alpha > 0 && options_.threshold_alpha <= 1);
+  DAS_CHECK(options_.max_wait_us > 0);
+  levels_.resize(options_.levels);
+}
+
+std::size_t ReinSbfScheduler::level_for(double v) const {
+  if (!seeded_ || ewma_bottleneck_ <= 0) return 0;
+  // Geometric bands around the running mean: level 0 below the mean, then
+  // one level per doubling. Matches Rein's "small multigets go first" split
+  // for levels == 2 and generalises smoothly.
+  if (v <= ewma_bottleneck_) return 0;
+  const double ratio = v / ewma_bottleneck_;
+  const auto level = static_cast<std::size_t>(1 + std::floor(std::log2(ratio)));
+  return std::min(level, options_.levels - 1);
+}
+
+void ReinSbfScheduler::enqueue(const OpContext& op, SimTime now) {
+  OpContext copy = op;
+  copy.enqueued_at = now;
+  note_in(copy);
+
+  const double v = options_.use_bytes ? copy.bottleneck_demand_us
+                                      : static_cast<double>(copy.bottleneck_ops);
+  // Threshold adaptation sees every arrival, including ones routed to level 0.
+  if (!seeded_) {
+    ewma_bottleneck_ = v;
+    seeded_ = true;
+  } else {
+    ewma_bottleneck_ += options_.threshold_alpha * (v - ewma_bottleneck_);
+  }
+
+  const std::size_t level = level_for(v);
+  const std::uint64_t seq = next_arrival_seq_++;
+  const Handle h = levels_[level].insert(seq, std::move(copy));
+  fifo_.push_back(FifoEntry{level, seq, h});
+}
+
+OpContext ReinSbfScheduler::take(std::size_t level, std::uint64_t arrival_seq,
+                                 Handle h) {
+  OpContext op = levels_[level].remove_with_key(arrival_seq, h);
+  note_out(op);
+  return op;
+}
+
+OpContext ReinSbfScheduler::dequeue(SimTime now) {
+  DAS_CHECK(!empty());
+  // Aging: the globally oldest queued op is promoted past all levels once its
+  // wait exceeds the bound. Entries for already-served ops are skipped lazily.
+  while (!fifo_.empty() && !levels_[fifo_.front().level].contains(fifo_.front().handle))
+    fifo_.pop_front();
+  if (!fifo_.empty()) {
+    const FifoEntry front = fifo_.front();
+    const OpContext& oldest = levels_[front.level].at(front.handle);
+    if (now - oldest.enqueued_at > options_.max_wait_us) {
+      fifo_.pop_front();
+      return take(front.level, front.arrival_seq, front.handle);
+    }
+  }
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    if (!levels_[level].empty()) {
+      const Handle h = levels_[level].min_handle();
+      const std::uint64_t seq = levels_[level].min_key();
+      return take(level, seq, h);
+    }
+  }
+  DAS_CHECK_MSG(false, "dequeue on empty ReinSbfScheduler");
+  return {};
+}
+
+}  // namespace das::sched

@@ -1,0 +1,51 @@
+#include "sched/req_srpt.hpp"
+
+namespace das::sched {
+
+void ReqSrptScheduler::enqueue(const OpContext& op, SimTime now) {
+  OpContext copy = op;
+  copy.enqueued_at = now;
+  note_in(copy);
+  const RequestId req = copy.request_id;
+  const double key = copy.total_demand_us;
+  const Handle h = queue_.insert(key, std::move(copy));
+  key_of_[h] = key;
+  by_request_[req].insert(h);
+}
+
+OpContext ReqSrptScheduler::dequeue(SimTime) {
+  const Handle h = queue_.min_handle();
+  OpContext op = queue_.pop_min();
+  forget(op, h);
+  note_out(op);
+  return op;
+}
+
+void ReqSrptScheduler::forget(const OpContext& op, Handle h) {
+  key_of_.erase(h);
+  const auto it = by_request_.find(op.request_id);
+  if (it != by_request_.end()) {
+    it->second.erase(h);
+    if (it->second.empty()) by_request_.erase(it);
+  }
+}
+
+bool ReqSrptScheduler::preempts(const OpContext& incoming,
+                                const OpContext& in_service) const {
+  return incoming.total_demand_us < in_service.total_demand_us;
+}
+
+void ReqSrptScheduler::on_request_progress(RequestId request,
+                                           const ProgressUpdate& update, SimTime) {
+  const auto it = by_request_.find(request);
+  if (it == by_request_.end()) return;
+  for (const Handle h : it->second) {
+    auto key_it = key_of_.find(h);
+    DAS_CHECK(key_it != key_of_.end());
+    if (key_it->second == update.remaining_total_us) continue;
+    queue_.rekey(key_it->second, h, update.remaining_total_us);
+    key_it->second = update.remaining_total_us;
+  }
+}
+
+}  // namespace das::sched

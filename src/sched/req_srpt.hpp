@@ -1,0 +1,42 @@
+// Request-level shortest-remaining-processing-time.
+//
+// Orders by the TOTAL remaining service demand of the operation's request
+// across all servers, shrinking as siblings complete (progress messages).
+// This is the classic mean-flow-time heuristic lifted to the fork-join
+// setting; it lacks DAS's bottleneck awareness (it cannot tell whether the
+// remaining work is parallel or serial) and serves as the strongest
+// request-aware non-DAS baseline.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sched/keyed_queue.hpp"
+#include "sched/scheduler_base.hpp"
+
+namespace das::sched {
+
+class ReqSrptScheduler final : public SchedulerBase {
+ public:
+  void enqueue(const OpContext& op, SimTime now) override;
+  OpContext dequeue(SimTime now) override;
+  void on_request_progress(RequestId request, const ProgressUpdate& update,
+                           SimTime now) override;
+  /// True preemptive SRPT when the server allows it: a strictly smaller
+  /// remaining request interrupts the one in service.
+  bool preempts(const OpContext& incoming, const OpContext& in_service) const override;
+  std::string name() const override { return "req-srpt"; }
+
+ private:
+  using Handle = KeyedQueue<double>::Handle;
+
+  KeyedQueue<double> queue_;
+  /// Current remaining-demand key of each queued handle (needed to rekey).
+  std::unordered_map<Handle, double> key_of_;
+  /// Handles queued here per request, for progress fan-in.
+  std::unordered_map<RequestId, std::unordered_set<Handle>> by_request_;
+
+  void forget(const OpContext& op, Handle h);
+};
+
+}  // namespace das::sched

@@ -1,0 +1,102 @@
+// Per-server operation scheduler interface and policy factory.
+//
+// A Scheduler owns the queue of pending operations of one server. The server
+// asks for the next operation whenever it goes idle; policies differ only in
+// the dequeue order. All policies are non-preemptive at operation
+// granularity (a started get runs to completion), which is how real stores
+// behave and what the paper assumes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sched/op_context.hpp"
+
+namespace das::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Adds an operation to the queue. `now` is the server-local arrival time.
+  virtual void enqueue(const OpContext& op, SimTime now) = 0;
+
+  /// Removes and returns the next operation to serve.
+  /// Precondition: !empty().
+  virtual OpContext dequeue(SimTime now) = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::size_t size() const = 0;
+
+  /// Sum of nominal demand (µs) of all queued operations; feeds the server's
+  /// advertised delay estimate and the load metrics.
+  virtual double backlog_demand_us() const = 0;
+
+  /// Progress notification from the client side: a sibling operation of
+  /// `request` completed and its scheduling estimates moved. Policies without
+  /// request state ignore it.
+  virtual void on_request_progress(RequestId request, const ProgressUpdate& update,
+                                   SimTime now);
+
+  /// The server's current service-speed estimate (work-µs per wall-µs, 1.0 =
+  /// nominal). Adaptive policies use it to judge local queueing delay.
+  virtual void on_speed_estimate(double speed);
+
+  /// Preemption hook: should `incoming` interrupt `in_service`? Only
+  /// consulted when the server runs in preemptive mode (an oracle-style
+  /// upper bound — production stores serve operations to completion).
+  /// `in_service.demand_us` holds the REMAINING demand. Default: never.
+  virtual bool preempts(const OpContext& incoming, const OpContext& in_service) const;
+
+  virtual std::string name() const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// The policies under study. `kDas*` variants are ablations of kDas.
+enum class Policy {
+  kFcfs,
+  kRandom,
+  kSjf,
+  kReqSrpt,
+  kEdf,
+  kReinSbf,
+  kDas,
+  kDasNoAdapt,    // DAS-NA: adaptive estimation disabled
+  kDasNoDefer,    // DAS-ND: safe-deferral (LRPT-last) disabled
+  kDasNoAging,    // DAS with starvation aging disabled
+  kDasCritical,   // DAS ordering on critical-path remaining instead of total
+};
+
+/// Stable lower-case identifier, e.g. "fcfs", "rein-sbf", "das".
+std::string to_string(Policy policy);
+/// Inverse of to_string; throws on unknown names.
+Policy policy_from_string(const std::string& name);
+/// All policies in presentation order.
+const std::vector<Policy>& all_policies();
+
+/// Tuning shared by policy constructors; semantics per policy documented at
+/// each implementation. Defaults reproduce the paper configuration.
+struct SchedulerConfig {
+  /// DAS / Rein anti-starvation: an op waiting longer than this is served
+  /// next regardless of priority. Infinity disables aging.
+  Duration max_wait_us = 50.0 * kMillisecond;
+  /// Rein: number of priority levels (>= 2).
+  std::size_t rein_levels = 2;
+  /// Rein: EWMA smoothing for the adaptive bottleneck threshold.
+  double rein_threshold_alpha = 0.05;
+  /// Rein: rank on demand-µs bottleneck (true) or op-count bottleneck.
+  bool rein_use_bytes = true;
+  /// DAS: safety margin multiplier on the deferral test; > 1 defers less.
+  double das_defer_margin = 2.0;
+  /// Seed for randomized policies.
+  std::uint64_t seed = 1;
+};
+
+SchedulerPtr make_scheduler(Policy policy, const SchedulerConfig& config = {});
+
+}  // namespace das::sched

@@ -1,0 +1,35 @@
+// Shared bookkeeping for scheduler implementations.
+#pragma once
+
+#include "common/check.hpp"
+#include "sched/scheduler.hpp"
+
+namespace das::sched {
+
+/// Tracks queue size and backlog demand; concrete policies call note_in /
+/// note_out around their own data-structure updates so the accounting can
+/// never drift from the queue contents.
+class SchedulerBase : public Scheduler {
+ public:
+  bool empty() const final { return count_ == 0; }
+  std::size_t size() const final { return count_; }
+  double backlog_demand_us() const final { return backlog_us_ < 0 ? 0 : backlog_us_; }
+
+ protected:
+  void note_in(const OpContext& op) {
+    ++count_;
+    backlog_us_ += op.demand_us;
+  }
+  void note_out(const OpContext& op) {
+    DAS_CHECK(count_ > 0);
+    --count_;
+    backlog_us_ -= op.demand_us;
+    if (count_ == 0) backlog_us_ = 0;  // wash out float drift at empty
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double backlog_us_ = 0;
+};
+
+}  // namespace das::sched

@@ -1,0 +1,106 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace das::sim {
+
+EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  DAS_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  DAS_CHECK(fn != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push_back(Node{t, next_seq_++, id, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end());
+  pending_ids_.insert(id);
+  return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  DAS_CHECK_MSG(delay >= 0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  // Erasing from pending_ids_ is the cancellation; the heap node is skipped
+  // lazily at pop time. Cancelling fired/cancelled/foreign handles is a no-op.
+  pending_ids_.erase(h.id_);
+}
+
+bool Simulator::pop_next(Node& out) {
+  while (!queue_.empty()) {
+    std::pop_heap(queue_.begin(), queue_.end());
+    Node node = std::move(queue_.back());
+    queue_.pop_back();
+    if (pending_ids_.erase(node.id) == 0) continue;  // was cancelled
+    out = std::move(node);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Node node;
+  if (!pop_next(node)) return false;
+  DAS_CHECK(node.t >= now_);
+  now_ = node.t;
+  ++dispatched_;
+  node.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  DAS_CHECK(t >= now_);
+  for (;;) {
+    Node node;
+    if (!pop_next(node)) break;
+    if (node.t > t) {
+      // Beyond the horizon: re-insert and stop.
+      pending_ids_.insert(node.id);
+      queue_.push_back(std::move(node));
+      std::push_heap(queue_.begin(), queue_.end());
+      break;
+    }
+    now_ = node.t;
+    ++dispatched_;
+    node.fn();
+  }
+  now_ = t;
+}
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, Duration period,
+                                 std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  DAS_CHECK(period_ > 0);
+  DAS_CHECK(fn_ != nullptr);
+}
+
+PeriodicProcess::~PeriodicProcess() { stop(); }
+
+void PeriodicProcess::start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_.schedule_after(period_, [this] { fire(); });
+}
+
+void PeriodicProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = EventHandle{};
+}
+
+void PeriodicProcess::fire() {
+  pending_ = EventHandle{};
+  fn_();
+  if (running_) pending_ = sim_.schedule_after(period_, [this] { fire(); });
+}
+
+}  // namespace das::sim

@@ -1,0 +1,118 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a time-ordered event queue. Events at equal timestamps
+// dispatch in scheduling order (a monotone sequence number breaks ties), so
+// runs are fully deterministic. Cancellation is lazy: cancelled events stay
+// in the heap and are skipped at pop time, which keeps schedule/cancel O(log n)
+// without an indexed heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace das::sim {
+
+/// Opaque ticket for a scheduled event; valid until the event fires or is
+/// cancelled. Default-constructed handles refer to no event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now()).
+  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled
+  /// or invalid handle is a harmless no-op (idempotent).
+  void cancel(EventHandle h);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Runs until simulated time reaches `t` (events with timestamp <= t fire)
+  /// or the queue empties. Afterwards now() == t if any horizon was reached.
+  void run_until(SimTime t);
+
+  /// Dispatches at most one event; returns false if the queue was empty.
+  bool step();
+
+  bool empty() const { return pending_ids_.empty(); }
+  std::size_t pending() const { return pending_ids_.size(); }
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Node {
+    SimTime t;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+    // Min-heap by (t, seq): std::priority_queue is a max-heap, so invert.
+    bool operator<(const Node& other) const {
+      if (t != other.t) return t > other.t;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pops skipping cancelled events; returns false when drained.
+  bool pop_next(Node& out);
+
+  // Binary heap managed with std::push_heap/std::pop_heap; a raw vector lets
+  // us move the std::function out of the popped node. pending_ids_ holds the
+  // ids of live (scheduled, not yet fired or cancelled) events: cancel()
+  // erases from it and pop_next() skips heap nodes whose id is absent.
+  std::vector<Node> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+};
+
+/// Repeats a callback with a fixed period until stopped. The callback runs
+/// at start + period, start + 2*period, ...; stop() cancels the pending
+/// occurrence and prevents future ones. Safe to stop from within the
+/// callback itself.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(Simulator& sim, Duration period, std::function<void()> fn);
+  ~PeriodicProcess();
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace das::sim

@@ -1,0 +1,159 @@
+#include "store/log_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace das::store {
+
+LogStructuredEngine::LogStructuredEngine(Options options) : options_(options) {
+  DAS_CHECK(options_.segment_capacity >= 1);
+  DAS_CHECK(options_.compact_at_segments >= 2);
+  active_.entries.reserve(options_.segment_capacity);
+}
+
+const LogStructuredEngine::Entry& LogStructuredEngine::at(Location loc) const {
+  const Segment& seg = loc.segment == kActive ? active_ : sealed_[loc.segment];
+  return seg.entries[loc.offset];
+}
+
+void LogStructuredEngine::append(KeyId key, const ValueRecord& record,
+                                 bool tombstone) {
+  active_.entries.push_back(Entry{key, record, tombstone});
+  index_.put(key, Location{kActive, static_cast<std::uint32_t>(
+                                        active_.entries.size() - 1)});
+  seal_active_if_full();
+}
+
+void LogStructuredEngine::seal_active_if_full() {
+  if (active_.entries.size() < options_.segment_capacity) return;
+  // Re-point index entries of the sealed segment from kActive to its final
+  // slot (only entries still referencing the active segment are live here).
+  const auto seg_id = static_cast<std::uint32_t>(sealed_.size());
+  for (std::uint32_t off = 0; off < active_.entries.size(); ++off) {
+    const KeyId key = active_.entries[off].key;
+    if (Location* loc = index_.find(key);
+        loc && loc->segment == kActive && loc->offset == off) {
+      *loc = Location{seg_id, off};
+    }
+  }
+  sealed_.push_back(std::move(active_));
+  active_ = Segment{};
+  active_.entries.reserve(options_.segment_capacity);
+  ++log_stats_.segments_sealed;
+  maybe_compact();
+}
+
+void LogStructuredEngine::maybe_compact() {
+  if (sealed_.size() < options_.compact_at_segments) return;
+  ++log_stats_.compactions;
+  // Rewrite live entries (those the index still points to) into fresh
+  // sealed segments, preserving order; everything else is dead.
+  std::vector<Segment> fresh;
+  fresh.emplace_back();
+  fresh.back().entries.reserve(options_.segment_capacity);
+  for (std::uint32_t seg = 0; seg < sealed_.size(); ++seg) {
+    for (std::uint32_t off = 0; off < sealed_[seg].entries.size(); ++off) {
+      const Entry& entry = sealed_[seg].entries[off];
+      const Location* loc = index_.find(entry.key);
+      const bool live = loc && loc->segment == seg && loc->offset == off;
+      if (!live || entry.tombstone) {
+        ++log_stats_.entries_dropped;
+        continue;
+      }
+      if (fresh.back().entries.size() == options_.segment_capacity) {
+        fresh.emplace_back();
+        fresh.back().entries.reserve(options_.segment_capacity);
+      }
+      fresh.back().entries.push_back(entry);
+      index_.put(entry.key,
+                 Location{static_cast<std::uint32_t>(fresh.size() - 1),
+                          static_cast<std::uint32_t>(fresh.back().entries.size() - 1)});
+      ++log_stats_.entries_rewritten;
+    }
+  }
+  // Tombstoned keys whose newest entry was in a sealed segment are gone from
+  // storage now; their index entries (pointing at dropped tombstones) were
+  // already erased at erase() time, so no index fixup is needed here.
+  sealed_ = std::move(fresh);
+}
+
+std::uint64_t LogStructuredEngine::put(KeyId key, Bytes size, SimTime now) {
+  ++stats_.puts;
+  ValueRecord record;
+  record.size = size;
+  record.created_at = now;
+  record.updated_at = now;
+  if (const Location* loc = index_.find(key)) {
+    const Entry& previous = at(*loc);
+    record.version = previous.record.version + 1;
+    record.created_at = previous.record.created_at;
+    stats_.resident_bytes -= previous.record.size;
+    ++stats_.updates;
+  } else {
+    record.version = 1;
+    ++stats_.inserts;
+    ++live_keys_;
+  }
+  stats_.resident_bytes += size;
+  append(key, record, false);
+  return record.version;
+}
+
+std::optional<ValueRecord> LogStructuredEngine::get(KeyId key, SimTime) {
+  ++stats_.gets;
+  if (const Location* loc = index_.find(key)) {
+    ++stats_.hits;
+    return at(*loc).record;
+  }
+  return std::nullopt;
+}
+
+const ValueRecord* LogStructuredEngine::peek(KeyId key) const {
+  const Location* loc = index_.find(key);
+  return loc ? &at(*loc).record : nullptr;
+}
+
+bool LogStructuredEngine::erase(KeyId key) {
+  const Location* loc = index_.find(key);
+  if (!loc) return false;
+  ValueRecord dead = at(*loc).record;
+  stats_.resident_bytes -= dead.size;
+  ++stats_.deletes;
+  --live_keys_;
+  // A tombstone records the deletion for recovery; the index entry goes away
+  // immediately so reads miss.
+  append(key, dead, true);
+  index_.erase(key);
+  return true;
+}
+
+std::size_t LogStructuredEngine::total_entries() const {
+  std::size_t total = active_.entries.size();
+  for (const Segment& seg : sealed_) total += seg.entries.size();
+  return total;
+}
+
+void LogStructuredEngine::recover() {
+  index_ = RobinHoodMap<Location>{};
+  live_keys_ = 0;
+  const auto replay = [&](std::uint32_t seg_id, const Segment& seg) {
+    for (std::uint32_t off = 0; off < seg.entries.size(); ++off) {
+      const Entry& entry = seg.entries[off];
+      const bool existed = index_.find(entry.key) != nullptr;
+      if (entry.tombstone) {
+        if (existed) {
+          index_.erase(entry.key);
+          --live_keys_;
+        }
+        continue;
+      }
+      if (!existed) ++live_keys_;
+      index_.put(entry.key, Location{seg_id, off});
+    }
+  };
+  for (std::uint32_t seg = 0; seg < sealed_.size(); ++seg) replay(seg, sealed_[seg]);
+  replay(kActive, active_);
+}
+
+}  // namespace das::store

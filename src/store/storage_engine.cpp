@@ -1,0 +1,46 @@
+#include "store/storage_engine.hpp"
+
+namespace das::store {
+
+std::uint64_t StorageEngine::put(KeyId key, Bytes size, SimTime now) {
+  ++stats_.puts;
+  if (ValueRecord* existing = table_.find(key)) {
+    stats_.resident_bytes -= existing->size;
+    stats_.resident_bytes += size;
+    existing->size = size;
+    existing->updated_at = now;
+    ++existing->version;
+    ++stats_.updates;
+    return existing->version;
+  }
+  ValueRecord rec;
+  rec.size = size;
+  rec.version = 1;
+  rec.created_at = now;
+  rec.updated_at = now;
+  table_.put(key, rec);
+  stats_.resident_bytes += size;
+  ++stats_.inserts;
+  return 1;
+}
+
+std::optional<ValueRecord> StorageEngine::get(KeyId key, SimTime now) {
+  (void)now;
+  ++stats_.gets;
+  if (const ValueRecord* rec = table_.find(key)) {
+    ++stats_.hits;
+    return *rec;
+  }
+  return std::nullopt;
+}
+
+bool StorageEngine::erase(KeyId key) {
+  if (auto removed = table_.erase(key)) {
+    stats_.resident_bytes -= removed->size;
+    ++stats_.deletes;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace das::store

@@ -1,0 +1,119 @@
+#include "workload/multiget.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "store/hash_table.hpp"
+
+namespace das::workload {
+
+MultigetGenerator::MultigetGenerator(Config config)
+    : config_(std::move(config)),
+      zipf_(config_.key_universe == 0 ? 1 : config_.key_universe, config_.zipf_theta) {
+  DAS_CHECK(config_.key_universe >= 1);
+  DAS_CHECK(config_.fanout != nullptr);
+  rank_to_key_.resize(config_.key_universe);
+  for (std::uint64_t k = 0; k < config_.key_universe; ++k) rank_to_key_[k] = k;
+  Rng perm_rng{config_.rank_permutation_seed};
+  for (std::uint64_t i = config_.key_universe; i > 1; --i) {
+    const std::uint64_t j = perm_rng.next_below(i);
+    std::swap(rank_to_key_[i - 1], rank_to_key_[j]);
+  }
+}
+
+KeyId MultigetGenerator::key_for_rank(std::uint64_t rank) const {
+  DAS_CHECK(rank < config_.key_universe);
+  return rank_to_key_[rank];
+}
+
+MultigetSpec MultigetGenerator::generate(Rng& rng) const {
+  const std::uint64_t want64 =
+      std::min<std::uint64_t>(config_.fanout->sample(rng), config_.key_universe);
+  const auto want = static_cast<std::size_t>(want64);
+  MultigetSpec spec;
+  spec.keys.reserve(want);
+  std::unordered_set<KeyId> seen;
+  seen.reserve(want * 2);
+  // Rejection-sample distinct keys; bounded because want <= universe. After a
+  // generous number of misses (heavy skew + large fan-out), fall back to
+  // scanning ranks in popularity order, which always terminates.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 64 * want + 64;
+  while (spec.keys.size() < want && attempts < max_attempts) {
+    ++attempts;
+    const KeyId key = key_for_rank(zipf_.sample(rng));
+    if (seen.insert(key).second) spec.keys.push_back(key);
+  }
+  for (std::uint64_t rank = 0; spec.keys.size() < want; ++rank) {
+    DAS_CHECK(rank < config_.key_universe);
+    const KeyId key = key_for_rank(rank);
+    if (seen.insert(key).second) spec.keys.push_back(key);
+  }
+  return spec;
+}
+
+std::string MultigetGenerator::describe() const {
+  std::ostringstream os;
+  os << "multiget(universe=" << config_.key_universe << ", theta=" << config_.zipf_theta
+     << ", fanout=" << config_.fanout->describe() << ")";
+  return os.str();
+}
+
+Trace Trace::generate(const MultigetGenerator& gen, double arrival_rate,
+                      std::size_t count, Rng& rng) {
+  DAS_CHECK(arrival_rate > 0);
+  Trace trace;
+  trace.requests.reserve(count);
+  SimTime t = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.exponential(1.0 / arrival_rate);
+    TraceRequest req;
+    req.arrival = t;
+    req.keys = gen.generate(rng).keys;
+    trace.requests.push_back(std::move(req));
+  }
+  return trace;
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream out{path};
+  DAS_CHECK_MSG(out.good(), "cannot open trace file for writing: " + path);
+  out.precision(17);
+  for (const auto& req : requests) {
+    out << req.arrival << ' ' << req.keys.size();
+    for (KeyId k : req.keys) out << ' ' << k;
+    out << '\n';
+  }
+  DAS_CHECK_MSG(out.good(), "short write to trace file: " + path);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in{path};
+  DAS_CHECK_MSG(in.good(), "cannot open trace file: " + path);
+  Trace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    TraceRequest req;
+    std::size_t n = 0;
+    ls >> req.arrival >> n;
+    DAS_CHECK_MSG(!ls.fail(), "malformed trace line: " + line);
+    req.keys.resize(n);
+    for (auto& k : req.keys) ls >> k;
+    DAS_CHECK_MSG(!ls.fail(), "truncated trace line: " + line);
+    trace.requests.push_back(std::move(req));
+  }
+  return trace;
+}
+
+std::size_t Trace::total_operations() const {
+  std::size_t total = 0;
+  for (const auto& req : requests) total += req.keys.size();
+  return total;
+}
+
+}  // namespace das::workload

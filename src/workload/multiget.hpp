@@ -1,0 +1,88 @@
+// Multiget request generation.
+//
+// An end-user request asks for `k` distinct keys; `k` is drawn from a
+// configurable fan-out distribution and keys from a Zipf popularity law over
+// the keyspace. This mirrors the Rein (EuroSys'17) methodology the paper
+// evaluates against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace das::workload {
+
+/// One generated request: the distinct keys to fetch.
+struct MultigetSpec {
+  std::vector<KeyId> keys;
+};
+
+class MultigetGenerator {
+ public:
+  struct Config {
+    /// Total number of keys in the store.
+    std::uint64_t key_universe = 0;
+    /// Zipf skew of key popularity; 0 = uniform.
+    double zipf_theta = 0.0;
+    /// Number of keys per request (>= 1); clamped to the universe size.
+    IntDistPtr fanout;
+    /// Permute popularity ranks to keys so that hot keys scatter across the
+    /// keyspace (and hence across servers) instead of clustering at low ids.
+    std::uint64_t rank_permutation_seed = 0x9E3779B9;
+  };
+
+  explicit MultigetGenerator(Config config);
+
+  /// Draws one request with distinct keys.
+  MultigetSpec generate(Rng& rng) const;
+
+  /// Draws a single key from the popularity law (write workloads).
+  KeyId sample_key(Rng& rng) const { return key_for_rank(zipf_.sample(rng)); }
+
+  double mean_fanout() const { return config_.fanout->mean(); }
+  std::uint64_t key_universe() const { return config_.key_universe; }
+  std::string describe() const;
+
+  /// Key id occupying popularity rank `rank` (0 = hottest); exposed so load
+  /// calibration can compute exact per-server demand shares. A true
+  /// bijection: every key has exactly one rank.
+  KeyId key_for_rank(std::uint64_t rank) const;
+  /// P(single drawn key has popularity rank `rank`).
+  double rank_pmf(std::uint64_t rank) const { return zipf_.pmf(rank); }
+
+ private:
+  Config config_;
+  ZipfGenerator zipf_;
+  /// rank -> key permutation (Fisher-Yates from rank_permutation_seed), so
+  /// hot keys scatter uniformly over the keyspace and hence over servers.
+  std::vector<KeyId> rank_to_key_;
+};
+
+/// A recorded request stream: arrival times plus key sets. Traces decouple
+/// workload generation from simulation (every policy replays the identical
+/// stream — paired comparison) and serialise to a plain text format.
+struct TraceRequest {
+  SimTime arrival = 0;
+  std::vector<KeyId> keys;
+};
+
+struct Trace {
+  std::vector<TraceRequest> requests;
+
+  /// Generates `count` requests with the given interarrival process.
+  static Trace generate(const MultigetGenerator& gen, double arrival_rate,
+                        std::size_t count, Rng& rng);
+
+  /// Plain-text round trip: one line per request, "arrival k key...".
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+  /// Total key accesses across all requests.
+  std::size_t total_operations() const;
+};
+
+}  // namespace das::workload

@@ -1,0 +1,106 @@
+#include "workload/spec.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace das::workload {
+
+namespace {
+
+std::vector<std::string> split(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::istringstream is{spec};
+  std::string part;
+  while (std::getline(is, part, ':')) parts.push_back(part);
+  return parts;
+}
+
+double to_double(const std::string& spec, const std::string& field) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(field, &pos);
+    DAS_CHECK(pos == field.size());
+    return v;
+  } catch (...) {
+    throw std::logic_error("bad number '" + field + "' in distribution spec '" +
+                           spec + "'");
+  }
+}
+
+std::uint32_t to_u32(const std::string& spec, const std::string& field) {
+  const double v = to_double(spec, field);
+  DAS_CHECK_MSG(v >= 0 && v == static_cast<std::uint32_t>(v),
+                "expected non-negative integer in spec '" + spec + "'");
+  return static_cast<std::uint32_t>(v);
+}
+
+[[noreturn]] void bad_arity(const std::string& spec, const char* usage) {
+  throw std::logic_error("malformed distribution spec '" + spec + "'; expected " +
+                         usage);
+}
+
+}  // namespace
+
+IntDistPtr parse_int_dist(const std::string& spec) {
+  const auto parts = split(spec);
+  DAS_CHECK_MSG(!parts.empty(), "empty distribution spec");
+  const std::string& family = parts[0];
+  if (family == "fixed") {
+    if (parts.size() != 2) bad_arity(spec, "fixed:K");
+    return make_fixed_int(to_u32(spec, parts[1]));
+  }
+  if (family == "uniform") {
+    if (parts.size() != 3) bad_arity(spec, "uniform:LO:HI");
+    return make_uniform_int(to_u32(spec, parts[1]), to_u32(spec, parts[2]));
+  }
+  if (family == "geometric") {
+    if (parts.size() != 3) bad_arity(spec, "geometric:P:CAP");
+    return make_geometric(to_double(spec, parts[1]), to_u32(spec, parts[2]));
+  }
+  if (family == "zipf") {
+    if (parts.size() != 3) bad_arity(spec, "zipf:N:THETA");
+    return make_zipf_int(to_u32(spec, parts[1]), to_double(spec, parts[2]));
+  }
+  if (family == "bimodal") {
+    if (parts.size() != 4) bad_arity(spec, "bimodal:SMALL:LARGE:P_LARGE");
+    return make_bimodal(to_u32(spec, parts[1]), to_u32(spec, parts[2]),
+                        to_double(spec, parts[3]));
+  }
+  throw std::logic_error("unknown int distribution family '" + family +
+                         "' in spec '" + spec + "'");
+}
+
+RealDistPtr parse_real_dist(const std::string& spec) {
+  const auto parts = split(spec);
+  DAS_CHECK_MSG(!parts.empty(), "empty distribution spec");
+  const std::string& family = parts[0];
+  if (family == "constant") {
+    if (parts.size() != 2) bad_arity(spec, "constant:V");
+    return make_constant(to_double(spec, parts[1]));
+  }
+  if (family == "uniform") {
+    if (parts.size() != 3) bad_arity(spec, "uniform:LO:HI");
+    return make_uniform_real(to_double(spec, parts[1]), to_double(spec, parts[2]));
+  }
+  if (family == "exponential") {
+    if (parts.size() != 2) bad_arity(spec, "exponential:MEAN");
+    return make_exponential(to_double(spec, parts[1]));
+  }
+  if (family == "lognormal") {
+    if (parts.size() != 3) bad_arity(spec, "lognormal:MEAN:SIGMA");
+    return make_lognormal_mean(to_double(spec, parts[1]), to_double(spec, parts[2]));
+  }
+  if (family == "gpareto") {
+    if (parts.size() != 5) bad_arity(spec, "gpareto:LOC:SCALE:SHAPE:CAP");
+    return make_generalized_pareto(to_double(spec, parts[1]),
+                                   to_double(spec, parts[2]),
+                                   to_double(spec, parts[3]),
+                                   to_double(spec, parts[4]));
+  }
+  throw std::logic_error("unknown real distribution family '" + family +
+                         "' in spec '" + spec + "'");
+}
+
+}  // namespace das::workload

@@ -1,0 +1,28 @@
+// Textual distribution specs: "geometric:0.125:128" -> IntDistPtr.
+//
+// Lets tools and scripts describe workloads on a command line; the grammar
+// is `family:arg:arg...` with arguments in the same order as the factory
+// functions in common/distributions.hpp.
+//
+//   Int families:   fixed:K | uniform:LO:HI | geometric:P:CAP |
+//                   zipf:N:THETA | bimodal:SMALL:LARGE:P_LARGE
+//   Real families:  constant:V | uniform:LO:HI | exponential:MEAN |
+//                   lognormal:MEAN:SIGMA | gpareto:LOC:SCALE:SHAPE:CAP
+//
+// Parsers throw std::logic_error with a precise message on malformed specs —
+// a typo must never silently run a different experiment.
+#pragma once
+
+#include <string>
+
+#include "common/distributions.hpp"
+
+namespace das::workload {
+
+/// Parses an integer-distribution spec (multiget fan-outs etc.).
+IntDistPtr parse_int_dist(const std::string& spec);
+
+/// Parses a real-distribution spec (value sizes etc.).
+RealDistPtr parse_real_dist(const std::string& spec);
+
+}  // namespace das::workload

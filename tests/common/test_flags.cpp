@@ -1,0 +1,111 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace das {
+namespace {
+
+bool parse(Flags& flags, std::vector<const char*> args, std::string* error) {
+  args.insert(args.begin(), "prog");
+  return flags.parse(static_cast<int>(args.size()), args.data(), error);
+}
+
+TEST(Flags, DefaultsApplyWithoutArgs) {
+  Flags flags;
+  flags.define("load", "0.7", "target load");
+  std::string error;
+  ASSERT_TRUE(parse(flags, {}, &error));
+  EXPECT_DOUBLE_EQ(flags.get_double("load"), 0.7);
+  EXPECT_FALSE(flags.set_on_command_line("load"));
+}
+
+TEST(Flags, EqualsFormParses) {
+  Flags flags;
+  flags.define("load", "0.7", "");
+  std::string error;
+  ASSERT_TRUE(parse(flags, {"--load=0.9"}, &error));
+  EXPECT_DOUBLE_EQ(flags.get_double("load"), 0.9);
+  EXPECT_TRUE(flags.set_on_command_line("load"));
+}
+
+TEST(Flags, SpaceFormParses) {
+  Flags flags;
+  flags.define("servers", "32", "");
+  std::string error;
+  ASSERT_TRUE(parse(flags, {"--servers", "64"}, &error));
+  EXPECT_EQ(flags.get_int("servers"), 64);
+}
+
+TEST(Flags, BareBooleanForm) {
+  Flags flags;
+  flags.define("verbose", "false", "");
+  std::string error;
+  ASSERT_TRUE(parse(flags, {"--verbose"}, &error));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  Flags flags;
+  flags.define("load", "0.7", "");
+  std::string error;
+  EXPECT_FALSE(parse(flags, {"--laod=0.9"}, &error));
+  EXPECT_NE(error.find("laod"), std::string::npos);
+}
+
+TEST(Flags, MissingValueRejected) {
+  Flags flags;
+  flags.define("servers", "32", "");
+  std::string error;
+  EXPECT_FALSE(parse(flags, {"--servers"}, &error));
+}
+
+TEST(Flags, PositionalsCollected) {
+  Flags flags;
+  flags.define("load", "0.7", "");
+  std::string error;
+  ASSERT_TRUE(parse(flags, {"trace.txt", "--load=0.5", "out.csv"}, &error));
+  EXPECT_EQ(flags.positionals(),
+            (std::vector<std::string>{"trace.txt", "out.csv"}));
+}
+
+TEST(Flags, BadNumberThrows) {
+  Flags flags;
+  flags.define("load", "abc", "");
+  EXPECT_THROW(flags.get_double("load"), std::logic_error);
+  EXPECT_THROW(flags.get_int("load"), std::logic_error);
+}
+
+TEST(Flags, BoolVariants) {
+  Flags flags;
+  flags.define("a", "1", "");
+  flags.define("b", "no", "");
+  EXPECT_TRUE(flags.get_bool("a"));
+  EXPECT_FALSE(flags.get_bool("b"));
+}
+
+TEST(Flags, UndeclaredAccessThrows) {
+  Flags flags;
+  EXPECT_THROW(flags.get_string("nope"), std::logic_error);
+}
+
+TEST(Flags, DuplicateDefinitionThrows) {
+  Flags flags;
+  flags.define("x", "1", "");
+  EXPECT_THROW(flags.define("x", "2", ""), std::logic_error);
+}
+
+TEST(Flags, HelpListsFlagsAndDefaults) {
+  Flags flags;
+  flags.define("load", "0.7", "target load");
+  std::ostringstream os;
+  flags.print_help(os, "dassim");
+  EXPECT_NE(os.str().find("--load"), std::string::npos);
+  EXPECT_NE(os.str().find("0.7"), std::string::npos);
+  EXPECT_NE(os.str().find("target load"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace das

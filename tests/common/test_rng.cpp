@@ -1,0 +1,167 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace das {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{12345}, b{12345};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng{0};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.next_u64());
+  EXPECT_GT(seen.size(), 95u);  // not a degenerate constant stream
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf) {
+  Rng rng{11};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng{3};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng{3};
+  EXPECT_THROW(rng.next_below(0), std::logic_error);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng{5};
+  std::array<int, 8> buckets{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next_below(8)];
+  for (int count : buckets) EXPECT_NEAR(count, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{13};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(25.0);
+  EXPECT_NEAR(sum / n, 25.0, 0.5);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng{17};
+  for (int i = 0; i < 10000; ++i) ASSERT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng{17};
+  EXPECT_THROW(rng.exponential(0.0), std::logic_error);
+  EXPECT_THROW(rng.exponential(-1.0), std::logic_error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{19};
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng{23};
+  std::vector<double> xs(50001);
+  for (auto& x : xs) x = rng.lognormal(2.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], std::exp(2.0), 0.15);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng{29};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{31};
+  Rng child = parent.fork(1);
+  // Child diverges from parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkIsDeterministicInStateAndTag) {
+  Rng a{31}, b{31};
+  Rng ca = a.fork(7), cb = b.fork(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, ForkDifferentTagsDiffer) {
+  Rng a{31}, b{31};
+  Rng ca = a.fork(7), cb = b.fork(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (ca.next_u64() == cb.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng{37};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    ASSERT_GE(x, -5.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace das

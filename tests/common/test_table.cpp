@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace das {
+namespace {
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t{{"policy", "mean", "p99"}};
+  t.add_row({"fcfs", "100.0", "500.0"});
+  t.add_row({"das", "70.0", "350.0"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("fcfs"), std::string::npos);
+  EXPECT_NE(out.find("das"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsWrongRowWidth) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::logic_error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::logic_error);
+}
+
+TEST(Table, FmtFixesPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+}
+
+TEST(Table, FmtPercent) {
+  EXPECT_EQ(Table::fmt_percent(0.256, 1), "25.6%");
+  EXPECT_EQ(Table::fmt_percent(-0.05, 0), "-5%");
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t{{"x", "y"}};
+  t.add_row({"looooong", "1"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is{os.str()};
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+}  // namespace
+}  // namespace das

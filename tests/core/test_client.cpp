@@ -1,0 +1,241 @@
+#include "core/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace das::core {
+namespace {
+
+struct SentOp {
+  ServerId server;
+  sched::OpContext ctx;
+};
+struct SentProgress {
+  ServerId server;
+  RequestId request;
+  sched::ProgressUpdate update;
+};
+
+struct ClientFixture : ::testing::Test {
+  static constexpr std::size_t kServers = 4;
+
+  sim::Simulator sim;
+  Metrics metrics;
+  store::PartitionerPtr partitioner = store::make_modulo_partitioner(kServers);
+  std::vector<Bytes> key_sizes = std::vector<Bytes>(64, 100);  // demand 10+100/50=12us
+  std::vector<SentOp> sent_ops;
+  std::vector<SentProgress> sent_progress;
+  std::unique_ptr<workload::MultigetGenerator> generator;
+  std::unique_ptr<Client> client;
+
+  void build(std::uint32_t fanout, Client::Params overrides = {}) {
+    workload::MultigetGenerator::Config gen_cfg;
+    gen_cfg.key_universe = key_sizes.size();
+    gen_cfg.zipf_theta = 0.0;
+    gen_cfg.fanout = make_fixed_int(fanout);
+    generator = std::make_unique<workload::MultigetGenerator>(gen_cfg);
+
+    Client::Params params = overrides;
+    params.id = 3;
+    params.num_servers = kServers;
+    params.per_op_overhead_us = 10.0;
+    params.service_bytes_per_us = 50.0;
+    params.est_rtt_us = 10.0;
+
+    client = std::make_unique<Client>(
+        sim, params, Rng{42}, *generator,
+        workload::make_deterministic_arrivals(0.001),  // every 1000us
+        *partitioner, key_sizes, metrics,
+        [this](ServerId s, const sched::OpContext& ctx) {
+          sent_ops.push_back(SentOp{s, ctx});
+        },
+        [this](ServerId s, RequestId r, const sched::ProgressUpdate& u) {
+          sent_progress.push_back(SentProgress{s, r, u});
+        });
+  }
+
+  /// Completes one sent op and feeds the response back.
+  void respond(const SentOp& op, double d_hat = 0.0, double mu_hat = 1.0) {
+    OpResponse resp;
+    resp.op_id = op.ctx.op_id;
+    resp.request_id = op.ctx.request_id;
+    resp.client = op.ctx.client;
+    resp.server = op.server;
+    resp.key = op.ctx.key;
+    resp.hit = true;
+    resp.value_size = 100;
+    resp.completed_at = sim.now();
+    resp.d_hat_us = d_hat;
+    resp.mu_hat = mu_hat;
+    client->on_response(resp);
+  }
+};
+
+TEST_F(ClientFixture, GeneratesRequestWithCorrectFanout) {
+  build(8);
+  client->start(1500.0);
+  sim.run();
+  EXPECT_EQ(client->requests_generated(), 1u);
+  EXPECT_EQ(sent_ops.size(), 8u);
+  EXPECT_EQ(client->ops_generated(), 8u);
+}
+
+TEST_F(ClientFixture, OpsRoutedByPartitioner) {
+  build(16);
+  client->start(1500.0);
+  sim.run();
+  for (const SentOp& op : sent_ops)
+    EXPECT_EQ(op.server, partitioner->server_for(op.ctx.key));
+}
+
+TEST_F(ClientFixture, TagsCarryRequestAggregates) {
+  build(8);
+  client->start(1500.0);
+  sim.run();
+  ASSERT_EQ(sent_ops.size(), 8u);
+  const double expected_demand = 10.0 + 100.0 / 50.0;  // 12us each
+  std::map<ServerId, double> per_server_demand;
+  std::map<ServerId, std::uint32_t> per_server_ops;
+  for (const SentOp& op : sent_ops) {
+    EXPECT_DOUBLE_EQ(op.ctx.demand_us, expected_demand);
+    per_server_demand[op.server] += expected_demand;
+    ++per_server_ops[op.server];
+  }
+  double max_demand = 0;
+  std::uint32_t max_ops = 0;
+  for (const auto& [s, d] : per_server_demand) max_demand = std::max(max_demand, d);
+  for (const auto& [s, n] : per_server_ops) max_ops = std::max(max_ops, n);
+
+  for (const SentOp& op : sent_ops) {
+    EXPECT_DOUBLE_EQ(op.ctx.total_demand_us, 8 * expected_demand);
+    EXPECT_DOUBLE_EQ(op.ctx.bottleneck_demand_us, max_demand);
+    EXPECT_EQ(op.ctx.bottleneck_ops, max_ops);
+    EXPECT_DOUBLE_EQ(op.ctx.remaining_critical_us, expected_demand);
+    EXPECT_EQ(op.ctx.request_id, sent_ops[0].ctx.request_id);
+  }
+}
+
+TEST_F(ClientFixture, EstOtherCompletionExcludesOwnServer) {
+  build(8);
+  client->start(1500.0);
+  sim.run();
+  // With a cold view (d=0, mu=1) every op's full estimate is
+  // arrival + rtt + demand; any op with at least one sibling on another
+  // server carries exactly that bound.
+  const SimTime arrival = 1000.0;
+  const double full = arrival + 10.0 + 12.0;
+  std::map<ServerId, int> per_server;
+  for (const SentOp& op : sent_ops) ++per_server[op.server];
+  for (const SentOp& op : sent_ops) {
+    if (per_server.size() == 1) {
+      EXPECT_DOUBLE_EQ(op.ctx.est_other_completion, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(op.ctx.est_other_completion, full);
+    }
+  }
+}
+
+TEST_F(ClientFixture, RequestCompletesWhenAllOpsRespond) {
+  metrics.set_window(0, kTimeInfinity);
+  build(4);
+  client->start(1500.0);
+  sim.run();
+  ASSERT_EQ(sent_ops.size(), 4u);
+  sim.run_until(2000.0);
+  for (const SentOp& op : sent_ops) respond(op);
+  EXPECT_EQ(client->requests_completed(), 1u);
+  EXPECT_EQ(client->in_flight(), 0u);
+  EXPECT_EQ(metrics.rct().moments().count(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.rct().moments().max(), 1000.0);  // 2000 - 1000
+}
+
+TEST_F(ClientFixture, AdaptiveEstimatesLearnFromPiggybacks) {
+  Client::Params p;
+  p.adaptive = true;
+  p.ewma_alpha = 0.5;
+  build(4, p);
+  client->start(1500.0);
+  sim.run();
+  const ServerId s = sent_ops[0].server;
+  EXPECT_DOUBLE_EQ(client->delay_estimate(s), 0.0);
+  respond(sent_ops[0], /*d_hat=*/200.0, /*mu_hat=*/0.5);
+  EXPECT_DOUBLE_EQ(client->delay_estimate(s), 100.0);   // 0 + 0.5*(200-0)
+  EXPECT_DOUBLE_EQ(client->speed_estimate(s), 0.75);    // 1 + 0.5*(0.5-1)
+}
+
+TEST_F(ClientFixture, NonAdaptiveIgnoresPiggybacks) {
+  Client::Params p;
+  p.adaptive = false;
+  build(4, p);
+  client->start(1500.0);
+  sim.run();
+  respond(sent_ops[0], 500.0, 0.1);
+  for (ServerId s = 0; s < kServers; ++s) {
+    EXPECT_DOUBLE_EQ(client->delay_estimate(s), 0.0);
+    EXPECT_DOUBLE_EQ(client->speed_estimate(s), 1.0);
+  }
+}
+
+TEST_F(ClientFixture, ProgressSentWhenCriticalPathShrinks) {
+  Client::Params p;
+  p.progress_updates = true;
+  p.progress_threshold = 0.05;
+  build(8, p);
+  client->start(1500.0);
+  sim.run();
+  sim.run_until(1600.0);
+  respond(sent_ops[0]);
+  // 7 ops remain across <= 4 servers; at most one update per pending server,
+  // and none to fully-answered servers.
+  EXPECT_GT(client->progress_sent(), 0u);
+  std::map<ServerId, int> updates;
+  for (const auto& prog : sent_progress) {
+    EXPECT_EQ(prog.request, sent_ops[0].ctx.request_id);
+    EXPECT_DOUBLE_EQ(prog.update.remaining_total_us, 7 * 12.0);
+    ++updates[prog.server];
+  }
+  for (const auto& [server, count] : updates) EXPECT_EQ(count, 1);
+}
+
+TEST_F(ClientFixture, ProgressSuppressedWhenDisabled) {
+  Client::Params p;
+  p.progress_updates = false;
+  build(8, p);
+  client->start(1500.0);
+  sim.run();
+  respond(sent_ops[0]);
+  EXPECT_EQ(client->progress_sent(), 0u);
+}
+
+TEST_F(ClientFixture, ProgressGatedByThreshold) {
+  Client::Params p;
+  p.progress_updates = true;
+  p.progress_threshold = 10.0;  // absurdly high: never send
+  build(8, p);
+  client->start(1500.0);
+  sim.run();
+  respond(sent_ops[0]);
+  EXPECT_EQ(client->progress_sent(), 0u);
+}
+
+TEST_F(ClientFixture, OpenLoopKeepsGeneratingWithoutResponses) {
+  build(2);
+  client->start(5500.0);
+  sim.run();
+  EXPECT_EQ(client->requests_generated(), 5u);  // arrivals at 1000..5000
+  EXPECT_EQ(client->in_flight(), 5u);
+}
+
+TEST_F(ClientFixture, DuplicateResponseThrows) {
+  build(2);
+  client->start(1500.0);
+  sim.run();
+  respond(sent_ops[0]);
+  EXPECT_THROW(respond(sent_ops[0]), std::logic_error);
+}
+
+}  // namespace
+}  // namespace das::core

@@ -1,0 +1,160 @@
+#include "core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace das::core {
+namespace {
+
+ClusterConfig small_config(sched::Policy policy = sched::Policy::kFcfs) {
+  ClusterConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_clients = 2;
+  cfg.keys_per_server = 200;
+  cfg.zipf_theta = 0.0;
+  cfg.load_calibration = LoadCalibration::kAverageCapacity;
+  cfg.target_load = 0.6;
+  cfg.fanout = make_uniform_int(1, 8);
+  cfg.policy = policy;
+  cfg.seed = 7;
+  return cfg;
+}
+
+RunWindow small_window() {
+  RunWindow w;
+  w.warmup_us = 5.0 * kMillisecond;
+  w.measure_us = 30.0 * kMillisecond;
+  return w;
+}
+
+TEST(Cluster, ConservesRequestsAndOps) {
+  Cluster cluster{small_config(), small_window()};
+  const ExperimentResult r = cluster.run();
+  EXPECT_GT(r.requests_generated, 0u);
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+  EXPECT_EQ(r.ops_generated, r.ops_completed);
+  EXPECT_GT(r.requests_measured, 0u);
+  EXPECT_LE(r.requests_measured, r.requests_completed);
+}
+
+TEST(Cluster, RunIsSingleShot) {
+  Cluster cluster{small_config(), small_window()};
+  cluster.run();
+  EXPECT_THROW(cluster.run(), std::logic_error);
+}
+
+TEST(Cluster, UtilizationNearTargetWithAverageCalibration) {
+  auto cfg = small_config();
+  cfg.target_load = 0.6;
+  RunWindow w;
+  w.warmup_us = 10.0 * kMillisecond;
+  w.measure_us = 100.0 * kMillisecond;
+  const ExperimentResult r = run_experiment(cfg, w);
+  EXPECT_NEAR(r.mean_server_utilization, 0.6, 0.05);
+}
+
+TEST(Cluster, HottestCalibrationKeepsEveryServerBelowTarget) {
+  auto cfg = small_config();
+  cfg.zipf_theta = 1.1;  // strong skew
+  cfg.load_calibration = LoadCalibration::kHottestServer;
+  cfg.target_load = 0.7;
+  RunWindow w;
+  w.warmup_us = 10.0 * kMillisecond;
+  w.measure_us = 100.0 * kMillisecond;
+  const ExperimentResult r = run_experiment(cfg, w);
+  EXPECT_LT(r.max_server_utilization, 0.85);  // target 0.7 + stochastic slack
+  EXPECT_LT(r.mean_server_utilization, r.max_server_utilization);
+}
+
+TEST(Cluster, SameSeedSamePolicyIsBitIdentical) {
+  const ExperimentResult a = run_experiment(small_config(), small_window());
+  const ExperimentResult b = run_experiment(small_config(), small_window());
+  EXPECT_EQ(a.requests_generated, b.requests_generated);
+  EXPECT_DOUBLE_EQ(a.rct.mean, b.rct.mean);
+  EXPECT_DOUBLE_EQ(a.rct.p999, b.rct.p999);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+}
+
+TEST(Cluster, SameSeedDifferentPolicySameWorkload) {
+  const ExperimentResult fcfs = run_experiment(small_config(sched::Policy::kFcfs),
+                                               small_window());
+  const ExperimentResult das =
+      run_experiment(small_config(sched::Policy::kDas), small_window());
+  // The generated request stream is identical; only service order differs.
+  EXPECT_EQ(fcfs.requests_generated, das.requests_generated);
+  EXPECT_EQ(fcfs.ops_generated, das.ops_generated);
+}
+
+TEST(Cluster, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  cfg.seed = 1;
+  const ExperimentResult a = run_experiment(cfg, small_window());
+  cfg.seed = 2;
+  const ExperimentResult b = run_experiment(cfg, small_window());
+  EXPECT_NE(a.requests_generated, b.requests_generated);
+}
+
+TEST(Cluster, ProgressMessagesOnlyForFeedbackPolicies) {
+  EXPECT_EQ(run_experiment(small_config(sched::Policy::kFcfs), small_window())
+                .progress_messages,
+            0u);
+  EXPECT_EQ(run_experiment(small_config(sched::Policy::kDasNoAdapt), small_window())
+                .progress_messages,
+            0u);
+  EXPECT_GT(run_experiment(small_config(sched::Policy::kDas), small_window())
+                .progress_messages,
+            0u);
+}
+
+TEST(Cluster, NetworkTrafficAccounted) {
+  const ExperimentResult r = run_experiment(small_config(), small_window());
+  // At least one request message and one response per op.
+  EXPECT_GE(r.net_messages, 2 * r.ops_generated);
+  EXPECT_GT(r.net_bytes, 0u);
+}
+
+TEST(Cluster, RingPartitionerWorksEndToEnd) {
+  auto cfg = small_config();
+  cfg.ring_vnodes = 64;
+  const ExperimentResult r = run_experiment(cfg, small_window());
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+}
+
+TEST(Cluster, RctDominatesOpLatency) {
+  const ExperimentResult r = run_experiment(small_config(), small_window());
+  // A request is the max of its ops plus network: mean RCT must exceed mean
+  // per-op service latency.
+  EXPECT_GT(r.rct.mean, r.op_latency.mean);
+}
+
+TEST(Cluster, CompareHarnessCoversAllPolicies) {
+  const auto runs = compare_policies(small_config(),
+                                     {sched::Policy::kFcfs, sched::Policy::kDas},
+                                     small_window());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].policy, sched::Policy::kFcfs);
+  EXPECT_EQ(runs[1].policy, sched::Policy::kDas);
+  EXPECT_EQ(runs[0].result.requests_generated, runs[1].result.requests_generated);
+  EXPECT_GT(rct_improvement(runs[0].result, runs[1].result), -1.0);
+}
+
+TEST(Cluster, TimeVaryingSpeedProfilesRun) {
+  auto cfg = small_config();
+  cfg.speed_profiles = {workload::make_markov_two_state(1.0, 0.5, 10000.0, 5000.0,
+                                                        1e6, 99)};
+  cfg.target_load = 0.5;
+  const ExperimentResult r = run_experiment(cfg, small_window());
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+}
+
+TEST(Cluster, LoadProfileModulatesArrivals) {
+  auto cfg = small_config();
+  cfg.load_profile = workload::make_sinusoidal_rate(1.0, 0.6, 20.0 * kMillisecond);
+  const ExperimentResult r = run_experiment(cfg, small_window());
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+  EXPECT_GT(r.requests_measured, 0u);
+}
+
+}  // namespace
+}  // namespace das::core

@@ -1,0 +1,75 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::core {
+namespace {
+
+TEST(Config, MeanOpDemandCombinesOverheadAndTransfer) {
+  ClusterConfig cfg;
+  cfg.per_op_overhead_us = 10.0;
+  cfg.service_bytes_per_us = 100.0;
+  cfg.value_size_bytes = make_constant(500.0);
+  EXPECT_DOUBLE_EQ(cfg.mean_op_demand_us(), 15.0);
+}
+
+TEST(Config, NominalCapacityIsServerCountWhenHomogeneous) {
+  ClusterConfig cfg;
+  cfg.num_servers = 48;
+  EXPECT_DOUBLE_EQ(cfg.nominal_capacity(1e6), 48.0);
+}
+
+TEST(Config, CapacityHonoursSpeedFactors) {
+  ClusterConfig cfg;
+  cfg.num_servers = 4;
+  cfg.server_speed_factors = {1.0, 1.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(cfg.nominal_capacity(1e6), 3.0);
+}
+
+TEST(Config, CapacityAveragesSharedSpeedProfile) {
+  ClusterConfig cfg;
+  cfg.num_servers = 10;
+  cfg.speed_profiles = {workload::make_step_rate({500000.0}, {1.0, 0.5})};
+  EXPECT_NEAR(cfg.nominal_capacity(1e6), 7.5, 0.1);
+}
+
+TEST(Config, ArrivalRateHitsTargetLoad) {
+  ClusterConfig cfg;
+  cfg.num_servers = 10;
+  cfg.num_clients = 1;
+  cfg.per_op_overhead_us = 10.0;
+  cfg.service_bytes_per_us = 1.0;
+  cfg.value_size_bytes = make_constant(10.0);  // 20us per op
+  cfg.fanout = make_fixed_int(5);              // 100us per request
+  cfg.target_load = 0.5;
+  // capacity 10 work-us/us * 0.5 = 5 work-us/us; / 100us per request.
+  EXPECT_NEAR(cfg.derived_arrival_rate(1e6), 0.05, 1e-9);
+}
+
+TEST(Config, ArrivalRateScalesInverselyWithLoadProfileMean) {
+  ClusterConfig cfg;
+  cfg.num_servers = 10;
+  cfg.fanout = make_fixed_int(4);
+  cfg.target_load = 0.6;
+  const double base = cfg.derived_arrival_rate(1e6);
+  cfg.load_profile = workload::make_constant_rate(2.0);
+  EXPECT_NEAR(cfg.derived_arrival_rate(1e6), base / 2.0, base * 1e-9);
+}
+
+TEST(Config, MismatchedSpeedFactorLengthThrows) {
+  ClusterConfig cfg;
+  cfg.num_servers = 4;
+  cfg.server_speed_factors = {1.0, 1.0};
+  EXPECT_THROW(cfg.nominal_capacity(1e6), std::logic_error);
+}
+
+TEST(Config, InvalidTargetLoadThrows) {
+  ClusterConfig cfg;
+  cfg.target_load = 1.0;
+  EXPECT_THROW(cfg.derived_arrival_rate(1e6), std::logic_error);
+  cfg.target_load = 0.0;
+  EXPECT_THROW(cfg.derived_arrival_rate(1e6), std::logic_error);
+}
+
+}  // namespace
+}  // namespace das::core

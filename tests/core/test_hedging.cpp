@@ -1,0 +1,79 @@
+// Hedged reads: tail-cutting via duplication to a second replica.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace das::core {
+namespace {
+
+ClusterConfig hedged_config(Duration hedge_delay) {
+  ClusterConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_clients = 2;
+  cfg.keys_per_server = 200;
+  cfg.zipf_theta = 0.0;
+  cfg.ring_vnodes = 64;
+  cfg.replication = 2;
+  cfg.replica_selection = ReplicaSelection::kPrimary;
+  cfg.load_calibration = LoadCalibration::kAverageCapacity;
+  cfg.target_load = 0.6;
+  cfg.hedge_delay_us = hedge_delay;
+  // One very slow server creates the stragglers hedging is meant to dodge.
+  cfg.server_speed_factors.assign(8, 1.0);
+  cfg.server_speed_factors[0] = 0.3;
+  cfg.seed = 77;
+  return cfg;
+}
+
+RunWindow window() {
+  RunWindow w;
+  w.warmup_us = 10.0 * kMillisecond;
+  w.measure_us = 80.0 * kMillisecond;
+  return w;
+}
+
+TEST(Hedging, RequestsCompleteAndHedgesFire) {
+  const ExperimentResult r = run_experiment(hedged_config(500.0), window());
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+  EXPECT_GT(r.ops_hedged, 0u);
+}
+
+TEST(Hedging, CutsTheTailOnStragglerClusters) {
+  const ExperimentResult plain = run_experiment(hedged_config(0), window());
+  const ExperimentResult hedged = run_experiment(hedged_config(500.0), window());
+  EXPECT_LT(hedged.rct.p99, plain.rct.p99 * 0.9);
+}
+
+TEST(Hedging, DisabledWithoutReplication) {
+  auto cfg = hedged_config(500.0);
+  cfg.replication = 1;
+  const ExperimentResult r = run_experiment(cfg, window());
+  EXPECT_EQ(r.ops_hedged, 0u);
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+}
+
+TEST(Hedging, ShorterDelayHedgesMore) {
+  const ExperimentResult lazy = run_experiment(hedged_config(2000.0), window());
+  const ExperimentResult eager = run_experiment(hedged_config(100.0), window());
+  EXPECT_GT(eager.ops_hedged, lazy.ops_hedged * 2);
+}
+
+TEST(Hedging, DeterministicWithHedging) {
+  const ExperimentResult a = run_experiment(hedged_config(300.0), window());
+  const ExperimentResult b = run_experiment(hedged_config(300.0), window());
+  EXPECT_DOUBLE_EQ(a.rct.mean, b.rct.mean);
+  EXPECT_EQ(a.ops_hedged, b.ops_hedged);
+}
+
+TEST(Hedging, ComposesWithLossRecovery) {
+  auto cfg = hedged_config(500.0);
+  cfg.msg_loss_probability = 0.02;
+  cfg.retry_timeout_us = 1.0 * kMillisecond;
+  const ExperimentResult r = run_experiment(cfg, window());
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+  EXPECT_GT(r.ops_hedged, 0u);
+  EXPECT_GT(r.ops_retransmitted, 0u);
+}
+
+}  // namespace
+}  // namespace das::core

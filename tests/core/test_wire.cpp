@@ -1,0 +1,155 @@
+// Protocol codec: round-trip fidelity, checksum integrity, exact sizing.
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace das::core::wire {
+namespace {
+
+sched::OpContext random_op(Rng& rng) {
+  sched::OpContext op;
+  op.op_id = rng.next_u64();
+  op.request_id = rng.next_u64();
+  op.client = static_cast<ClientId>(rng.next_below(1 << 16));
+  op.key = rng.next_u64();
+  op.demand_us = rng.uniform(0, 1e6);
+  op.request_arrival = rng.uniform(0, 1e9);
+  op.remaining_critical_us = rng.uniform(0, 1e6);
+  op.est_other_completion = rng.chance(0.5) ? rng.uniform(0, 1e9) : 0;
+  op.bottleneck_ops = static_cast<std::uint32_t>(rng.next_below(256));
+  op.bottleneck_demand_us = rng.uniform(0, 1e6);
+  op.total_demand_us = rng.uniform(0, 1e7);
+  op.deadline = rng.uniform(0, 1e9);
+  op.is_write = rng.chance(0.3);
+  op.write_size = rng.next_below(1 << 20);
+  return op;
+}
+
+OpResponse random_response(Rng& rng) {
+  OpResponse resp;
+  resp.op_id = rng.next_u64();
+  resp.request_id = rng.next_u64();
+  resp.client = static_cast<ClientId>(rng.next_below(1 << 16));
+  resp.server = static_cast<ServerId>(rng.next_below(1 << 16));
+  resp.key = rng.next_u64();
+  resp.hit = rng.chance(0.9);
+  resp.is_write = rng.chance(0.3);
+  resp.value_size = rng.next_below(1 << 16);
+  resp.completed_at = rng.uniform(0, 1e9);
+  resp.d_hat_us = rng.uniform(0, 1e6);
+  resp.mu_hat = rng.uniform(0.01, 4.0);
+  return resp;
+}
+
+TEST(Wire, OpRoundTripFuzz) {
+  Rng rng{1};
+  for (int i = 0; i < 5000; ++i) {
+    const sched::OpContext op = random_op(rng);
+    const Buffer buf = encode_op(op);
+    EXPECT_EQ(buf.size(), op_wire_size(op));
+    const auto decoded = decode_op(buf);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->op_id, op.op_id);
+    EXPECT_EQ(decoded->request_id, op.request_id);
+    EXPECT_EQ(decoded->client, op.client);
+    EXPECT_EQ(decoded->key, op.key);
+    EXPECT_DOUBLE_EQ(decoded->demand_us, op.demand_us);
+    EXPECT_DOUBLE_EQ(decoded->request_arrival, op.request_arrival);
+    EXPECT_DOUBLE_EQ(decoded->remaining_critical_us, op.remaining_critical_us);
+    EXPECT_DOUBLE_EQ(decoded->est_other_completion, op.est_other_completion);
+    EXPECT_EQ(decoded->bottleneck_ops, op.bottleneck_ops);
+    EXPECT_DOUBLE_EQ(decoded->bottleneck_demand_us, op.bottleneck_demand_us);
+    EXPECT_DOUBLE_EQ(decoded->total_demand_us, op.total_demand_us);
+    EXPECT_DOUBLE_EQ(decoded->deadline, op.deadline);
+    EXPECT_EQ(decoded->is_write, op.is_write);
+    EXPECT_EQ(decoded->write_size, op.write_size);
+  }
+}
+
+TEST(Wire, ResponseRoundTripFuzz) {
+  Rng rng{2};
+  for (int i = 0; i < 5000; ++i) {
+    const OpResponse resp = random_response(rng);
+    const Buffer buf = encode_response(resp);
+    const auto decoded = decode_response(buf);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->op_id, resp.op_id);
+    EXPECT_EQ(decoded->server, resp.server);
+    EXPECT_EQ(decoded->hit, resp.hit);
+    EXPECT_EQ(decoded->is_write, resp.is_write);
+    EXPECT_EQ(decoded->value_size, resp.value_size);
+    EXPECT_DOUBLE_EQ(decoded->d_hat_us, resp.d_hat_us);
+    EXPECT_DOUBLE_EQ(decoded->mu_hat, resp.mu_hat);
+  }
+}
+
+TEST(Wire, ProgressRoundTrip) {
+  sched::ProgressUpdate update;
+  update.remaining_critical_us = 123.5;
+  update.est_other_completion = 99887.25;
+  update.remaining_total_us = 456.75;
+  const Buffer buf = encode_progress(0xABCDEF, update);
+  EXPECT_EQ(buf.size(), progress_wire_size());
+  const auto decoded = decode_progress(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->request, 0xABCDEFu);
+  EXPECT_DOUBLE_EQ(decoded->update.remaining_critical_us, 123.5);
+  EXPECT_DOUBLE_EQ(decoded->update.est_other_completion, 99887.25);
+  EXPECT_DOUBLE_EQ(decoded->update.remaining_total_us, 456.75);
+}
+
+TEST(Wire, ChecksumDetectsSingleBitFlips) {
+  Rng rng{3};
+  const sched::OpContext op = random_op(rng);
+  const Buffer original = encode_op(op);
+  int detected = 0, trials = 0;
+  for (std::size_t byte = 0; byte < original.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Buffer corrupted = original;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      ++trials;
+      if (!decode_op(corrupted).has_value()) ++detected;
+    }
+  }
+  EXPECT_EQ(detected, trials);  // Fletcher-32 catches every single-bit flip
+}
+
+TEST(Wire, TruncationRejected) {
+  Rng rng{4};
+  const Buffer buf = encode_op(random_op(rng));
+  for (std::size_t len : {0ul, 1ul, 4ul, buf.size() / 2, buf.size() - 1}) {
+    Buffer truncated{buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(len)};
+    EXPECT_FALSE(decode_op(truncated).has_value()) << "len=" << len;
+  }
+}
+
+TEST(Wire, KindMismatchRejected) {
+  Rng rng{5};
+  const Buffer op_buf = encode_op(random_op(rng));
+  EXPECT_FALSE(decode_response(op_buf).has_value());
+  EXPECT_FALSE(decode_progress(op_buf).has_value());
+}
+
+TEST(Wire, ReadResponseChargesPayloadWriteAckDoesNot) {
+  OpResponse resp;
+  resp.hit = true;
+  resp.is_write = false;
+  resp.value_size = 1000;
+  const std::size_t read_size = response_wire_size(resp);
+  resp.is_write = true;
+  const std::size_t write_size = response_wire_size(resp);
+  EXPECT_EQ(read_size, write_size + 1000);
+}
+
+TEST(Wire, Fletcher32KnownProperties) {
+  const std::uint8_t a[] = {'a', 'b', 'c', 'd', 'e'};
+  const std::uint8_t b[] = {'a', 'b', 'c', 'd', 'f'};
+  EXPECT_NE(fletcher32(a, sizeof a), fletcher32(b, sizeof b));
+  EXPECT_EQ(fletcher32(a, sizeof a), fletcher32(a, sizeof a));
+  EXPECT_EQ(fletcher32(a, 0), 0u);
+}
+
+}  // namespace
+}  // namespace das::core::wire

@@ -1,0 +1,99 @@
+// Message loss + retransmission: end-to-end recovery properties.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+
+namespace das::core {
+namespace {
+
+ClusterConfig lossy_config(double loss, sched::Policy policy = sched::Policy::kDas) {
+  ClusterConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_clients = 2;
+  cfg.keys_per_server = 200;
+  cfg.zipf_theta = 0.0;
+  cfg.load_calibration = LoadCalibration::kAverageCapacity;
+  cfg.target_load = 0.5;
+  cfg.policy = policy;
+  cfg.msg_loss_probability = loss;
+  cfg.retry_timeout_us = 1.0 * kMillisecond;
+  cfg.seed = 99;
+  return cfg;
+}
+
+RunWindow window() {
+  RunWindow w;
+  w.warmup_us = 5.0 * kMillisecond;
+  w.measure_us = 50.0 * kMillisecond;
+  return w;
+}
+
+TEST(FaultInjection, EveryRequestCompletesDespiteLoss) {
+  for (const double loss : {0.001, 0.01, 0.05, 0.2}) {
+    const ExperimentResult r = run_experiment(lossy_config(loss), window());
+    EXPECT_EQ(r.requests_generated, r.requests_completed) << "loss=" << loss;
+    EXPECT_GT(r.net_messages_dropped, 0u) << "loss=" << loss;
+  }
+}
+
+TEST(FaultInjection, RetransmissionsScaleWithLossRate) {
+  const ExperimentResult low = run_experiment(lossy_config(0.01), window());
+  const ExperimentResult high = run_experiment(lossy_config(0.10), window());
+  EXPECT_GT(low.ops_retransmitted, 0u);
+  EXPECT_GT(high.ops_retransmitted, low.ops_retransmitted * 3);
+}
+
+TEST(FaultInjection, DropRateMatchesConfiguredProbability) {
+  const double loss = 0.05;
+  const ExperimentResult r = run_experiment(lossy_config(loss), window());
+  const double measured = static_cast<double>(r.net_messages_dropped) /
+                          static_cast<double>(r.net_messages);
+  EXPECT_NEAR(measured, loss, 0.01);
+}
+
+TEST(FaultInjection, LossInflatesTailNotJustMean) {
+  auto clean_cfg = lossy_config(0.0);
+  clean_cfg.retry_timeout_us = 0;  // pristine baseline: no retry machinery
+  const ExperimentResult clean = run_experiment(clean_cfg, window());
+  const ExperimentResult lossy = run_experiment(lossy_config(0.02), window());
+  // A lost op costs at least one RTO (1ms here) — visible at the tail.
+  EXPECT_GT(lossy.rct.p999, clean.rct.p999 + 0.5 * kMillisecond);
+  // Fork-join amplification: at 2% message loss a fan-out-8 request hits at
+  // least one RTO with probability ~25%, so the mean rises by a bounded
+  // fraction of the RTO — but stays well under one full RTO.
+  EXPECT_LT(lossy.rct.mean, clean.rct.mean + 1.0 * kMillisecond);
+}
+
+TEST(FaultInjection, DuplicateResponsesAreDiscarded) {
+  // High loss makes response-lost-after-service likely, which produces
+  // duplicate responses after the retry is served too.
+  const ExperimentResult r = run_experiment(lossy_config(0.2), window());
+  EXPECT_GT(r.duplicate_responses, 0u);
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+}
+
+TEST(FaultInjection, LossWithoutRetryIsRejected) {
+  auto cfg = lossy_config(0.01);
+  cfg.retry_timeout_us = 0;
+  EXPECT_THROW(run_experiment(cfg, window()), std::logic_error);
+}
+
+TEST(FaultInjection, DeterministicUnderLoss) {
+  const ExperimentResult a = run_experiment(lossy_config(0.05), window());
+  const ExperimentResult b = run_experiment(lossy_config(0.05), window());
+  EXPECT_DOUBLE_EQ(a.rct.mean, b.rct.mean);
+  EXPECT_EQ(a.ops_retransmitted, b.ops_retransmitted);
+  EXPECT_EQ(a.net_messages_dropped, b.net_messages_dropped);
+}
+
+TEST(FaultInjection, DasStillBeatsFcfsUnderLoss) {
+  const ExperimentResult fcfs =
+      run_experiment(lossy_config(0.02, sched::Policy::kFcfs), window());
+  const ExperimentResult das =
+      run_experiment(lossy_config(0.02, sched::Policy::kDas), window());
+  EXPECT_LT(das.rct.mean, fcfs.rct.mean);
+}
+
+}  // namespace
+}  // namespace das::core

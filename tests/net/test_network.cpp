@@ -1,0 +1,166 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace das::net {
+namespace {
+
+Network make_net(sim::Simulator& sim, LatencyPtr latency, bool fifo = true,
+                 double bandwidth = 0.0) {
+  Network::Config cfg;
+  cfg.latency = std::move(latency);
+  cfg.fifo_per_link = fifo;
+  cfg.bandwidth_bytes_per_us = bandwidth;
+  return Network{sim, cfg, Rng{1}};
+}
+
+TEST(LatencyModels, ConstantIsExact) {
+  auto m = make_constant_latency(7.0);
+  Rng rng{1};
+  EXPECT_DOUBLE_EQ(m->sample(rng), 7.0);
+  EXPECT_DOUBLE_EQ(m->mean(), 7.0);
+}
+
+TEST(LatencyModels, UniformBoundsAndMean) {
+  auto m = make_uniform_latency(2.0, 10.0);
+  Rng rng{2};
+  for (int i = 0; i < 10000; ++i) {
+    const Duration d = m->sample(rng);
+    ASSERT_GE(d, 2.0);
+    ASSERT_LT(d, 10.0);
+  }
+  EXPECT_DOUBLE_EQ(m->mean(), 6.0);
+}
+
+TEST(LatencyModels, LognormalEmpiricalMean) {
+  auto m = make_lognormal_latency(20.0, 0.5);
+  Rng rng{3};
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += m->sample(rng);
+  EXPECT_NEAR(sum / n, 20.0, 0.3);
+}
+
+TEST(Network, DeliversAfterConstantLatency) {
+  sim::Simulator sim;
+  Network net = make_net(sim, make_constant_latency(5.0));
+  SimTime delivered = -1;
+  net.send(0, 1, 100, [&] { delivered = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(delivered, 5.0);
+}
+
+TEST(Network, BandwidthAddsSerialisationDelay) {
+  sim::Simulator sim;
+  Network net = make_net(sim, make_constant_latency(5.0), true, 10.0);
+  SimTime delivered = -1;
+  net.send(0, 1, 200, [&] { delivered = sim.now(); });  // 200B / 10B-per-us = 20us
+  sim.run();
+  EXPECT_DOUBLE_EQ(delivered, 25.0);
+}
+
+TEST(Network, FifoPreservesPerLinkOrderUnderJitter) {
+  sim::Simulator sim;
+  Network net = make_net(sim, make_uniform_latency(1.0, 100.0), true);
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) net.send(0, 1, 10, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(order[i], i);
+}
+
+TEST(Network, DifferentLinksCanReorder) {
+  sim::Simulator sim;
+  Network net = make_net(sim, make_uniform_latency(1.0, 100.0), true);
+  std::vector<int> order;
+  bool reordered = false;
+  int expected = 0;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId src = i % 4;
+    net.send(src, 9, 10, [&, i] {
+      if (i != expected) reordered = true;
+      ++expected;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(reordered);  // cross-link ordering is NOT guaranteed
+}
+
+TEST(Network, NonFifoCanReorderSameLink) {
+  sim::Simulator sim;
+  Network net = make_net(sim, make_uniform_latency(1.0, 100.0), false);
+  bool reordered = false;
+  int expected = 0;
+  for (int i = 0; i < 200; ++i) {
+    net.send(0, 1, 10, [&, i] {
+      if (i != expected) reordered = true;
+      ++expected;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Network, StatsCountMessagesAndBytes) {
+  sim::Simulator sim;
+  Network net = make_net(sim, make_constant_latency(1.0));
+  net.send(0, 1, 100, [] {});
+  net.send(1, 0, 250, [] {});
+  sim.run();
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+  EXPECT_EQ(net.stats().bytes_sent, 350u);
+}
+
+TEST(Network, NullDeliveryThrows) {
+  sim::Simulator sim;
+  Network net = make_net(sim, make_constant_latency(1.0));
+  EXPECT_THROW(net.send(0, 1, 10, nullptr), std::logic_error);
+}
+
+TEST(Network, LossDropsConfiguredFraction) {
+  sim::Simulator sim;
+  Network::Config cfg;
+  cfg.latency = make_constant_latency(1.0);
+  cfg.loss_probability = 0.25;
+  Network net{sim, cfg, Rng{7}};
+  int delivered = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) net.send(0, 1, 8, [&] { ++delivered; });
+  sim.run();
+  EXPECT_EQ(net.stats().messages_sent, static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(static_cast<double>(net.stats().messages_dropped) / n, 0.25, 0.01);
+  EXPECT_EQ(delivered + static_cast<int>(net.stats().messages_dropped), n);
+}
+
+TEST(Network, ZeroLossDeliversEverything) {
+  sim::Simulator sim;
+  Network net = make_net(sim, make_constant_latency(1.0));
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) net.send(0, 1, 8, [&] { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 1000);
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+}
+
+TEST(Network, InvalidLossProbabilityRejected) {
+  sim::Simulator sim;
+  Network::Config cfg;
+  cfg.latency = make_constant_latency(1.0);
+  cfg.loss_probability = 1.0;
+  EXPECT_THROW((Network{sim, cfg, Rng{1}}), std::logic_error);
+}
+
+TEST(Network, ZeroLatencyDeliversImmediatelyInOrder) {
+  sim::Simulator sim;
+  Network net = make_net(sim, make_constant_latency(0.0));
+  std::vector<int> order;
+  net.send(0, 1, 1, [&] { order.push_back(1); });
+  net.send(0, 1, 1, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace das::net

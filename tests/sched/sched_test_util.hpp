@@ -1,0 +1,51 @@
+// Shared builders for scheduler tests.
+#pragma once
+
+#include "sched/op_context.hpp"
+
+namespace das::sched::testing {
+
+struct OpBuilder {
+  OpContext op;
+
+  explicit OpBuilder(OperationId id) {
+    op.op_id = id;
+    op.request_id = id;
+    op.demand_us = 10.0;
+    op.total_demand_us = 10.0;
+    op.remaining_critical_us = 10.0;
+    op.bottleneck_demand_us = 10.0;
+  }
+  OpBuilder& request(RequestId r) {
+    op.request_id = r;
+    return *this;
+  }
+  OpBuilder& demand(double d) {
+    op.demand_us = d;
+    return *this;
+  }
+  OpBuilder& total(double t) {
+    op.total_demand_us = t;
+    return *this;
+  }
+  OpBuilder& critical(double c) {
+    op.remaining_critical_us = c;
+    return *this;
+  }
+  OpBuilder& other_completion(SimTime t) {
+    op.est_other_completion = t;
+    return *this;
+  }
+  OpBuilder& bottleneck(std::uint32_t ops, double demand) {
+    op.bottleneck_ops = ops;
+    op.bottleneck_demand_us = demand;
+    return *this;
+  }
+  OpBuilder& deadline(SimTime d) {
+    op.deadline = d;
+    return *this;
+  }
+  OpContext build() const { return op; }
+};
+
+}  // namespace das::sched::testing

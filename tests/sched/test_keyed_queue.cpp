@@ -1,0 +1,119 @@
+#include "sched/keyed_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace das::sched {
+namespace {
+
+OpContext op(OperationId id) {
+  OpContext o;
+  o.op_id = id;
+  return o;
+}
+
+TEST(KeyedQueue, PopsInKeyOrder) {
+  KeyedQueue<double> q;
+  q.insert(3.0, op(3));
+  q.insert(1.0, op(1));
+  q.insert(2.0, op(2));
+  EXPECT_EQ(q.pop_min().op_id, 1u);
+  EXPECT_EQ(q.pop_min().op_id, 2u);
+  EXPECT_EQ(q.pop_min().op_id, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(KeyedQueue, EqualKeysPopInInsertionOrder) {
+  KeyedQueue<int> q;
+  for (OperationId i = 0; i < 20; ++i) q.insert(7, op(i));
+  for (OperationId i = 0; i < 20; ++i) EXPECT_EQ(q.pop_min().op_id, i);
+}
+
+TEST(KeyedQueue, MinKeyAndPeek) {
+  KeyedQueue<double> q;
+  q.insert(5.5, op(42));
+  EXPECT_DOUBLE_EQ(q.min_key(), 5.5);
+  EXPECT_EQ(q.peek_min().op_id, 42u);
+  EXPECT_EQ(q.size(), 1u);  // peek does not remove
+}
+
+TEST(KeyedQueue, PopOnEmptyThrows) {
+  KeyedQueue<int> q;
+  EXPECT_THROW(q.pop_min(), std::logic_error);
+  EXPECT_THROW(q.min_key(), std::logic_error);
+}
+
+TEST(KeyedQueue, RemoveWithKeyByHandle) {
+  KeyedQueue<double> q;
+  const auto h1 = q.insert(1.0, op(1));
+  q.insert(2.0, op(2));
+  EXPECT_TRUE(q.contains(h1));
+  const OpContext removed = q.remove_with_key(1.0, h1);
+  EXPECT_EQ(removed.op_id, 1u);
+  EXPECT_FALSE(q.contains(h1));
+  EXPECT_EQ(q.pop_min().op_id, 2u);
+}
+
+TEST(KeyedQueue, RemoveWithStaleKeyThrows) {
+  KeyedQueue<double> q;
+  const auto h = q.insert(1.0, op(1));
+  EXPECT_THROW(q.remove_with_key(9.0, h), std::logic_error);
+}
+
+TEST(KeyedQueue, RekeyReordersElement) {
+  KeyedQueue<double> q;
+  const auto h1 = q.insert(1.0, op(1));
+  q.insert(2.0, op(2));
+  q.rekey(1.0, h1, 10.0);
+  EXPECT_EQ(q.pop_min().op_id, 2u);
+  EXPECT_EQ(q.pop_min().op_id, 1u);
+}
+
+TEST(KeyedQueue, GenericRemoveFallback) {
+  KeyedQueue<double> q;
+  const auto h = q.insert(3.0, op(9));
+  q.insert(1.0, op(1));
+  const OpContext removed = q.remove(h);
+  EXPECT_EQ(removed.op_id, 9u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(KeyedQueue, AtAccessesByHandle) {
+  KeyedQueue<int> q;
+  const auto h = q.insert(4, op(77));
+  EXPECT_EQ(q.at(h).op_id, 77u);
+}
+
+TEST(KeyedQueue, MixedOperationsStress) {
+  KeyedQueue<double> q;
+  std::vector<std::pair<double, KeyedQueue<double>::Handle>> live;
+  Rng rng{123};
+  for (int step = 0; step < 5000; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      const double key = rng.uniform(0, 100);
+      live.emplace_back(key, q.insert(key, op(step)));
+    } else if (rng.chance(0.5)) {
+      q.pop_min();
+      // Find and drop whichever live entry is the current min.
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < live.size(); ++i)
+        if (live[i].first < live[best].first ||
+            (live[i].first == live[best].first &&
+             live[i].second < live[best].second))
+          best = i;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(best));
+    } else {
+      const std::size_t i = rng.next_below(live.size());
+      q.remove_with_key(live[i].first, live[i].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_EQ(q.size(), live.size());
+  }
+}
+
+}  // namespace
+}  // namespace das::sched

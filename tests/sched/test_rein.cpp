@@ -1,0 +1,112 @@
+#include "sched/rein.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched_test_util.hpp"
+
+namespace das::sched {
+namespace {
+
+using testing::OpBuilder;
+
+ReinSbfScheduler make_rein(std::size_t levels = 2, bool use_bytes = true,
+                           Duration max_wait = 50000.0) {
+  ReinSbfScheduler::Options opt;
+  opt.levels = levels;
+  opt.use_bytes = use_bytes;
+  opt.max_wait_us = max_wait;
+  opt.threshold_alpha = 0.05;
+  return ReinSbfScheduler{opt};
+}
+
+TEST(Rein, SmallBottleneckJumpsAhead) {
+  auto s = make_rein();
+  // Warm the threshold with medium bottlenecks.
+  for (OperationId i = 0; i < 20; ++i)
+    s.enqueue(OpBuilder{i}.bottleneck(4, 100).build(), 0);
+  while (!s.empty()) s.dequeue(1);
+
+  s.enqueue(OpBuilder{100}.bottleneck(16, 800).build(), 2);  // wide
+  s.enqueue(OpBuilder{101}.bottleneck(1, 20).build(), 2);    // narrow
+  EXPECT_EQ(s.dequeue(3).op_id, 101u);
+  EXPECT_EQ(s.dequeue(3).op_id, 100u);
+}
+
+TEST(Rein, FcfsWithinLevel) {
+  auto s = make_rein();
+  for (OperationId i = 0; i < 10; ++i)
+    s.enqueue(OpBuilder{i}.bottleneck(2, 50).build(), i * 1.0);
+  for (OperationId i = 0; i < 10; ++i) EXPECT_EQ(s.dequeue(20).op_id, i);
+}
+
+TEST(Rein, ThresholdAdaptsToWorkload) {
+  auto s = make_rein();
+  for (OperationId i = 0; i < 200; ++i)
+    s.enqueue(OpBuilder{i}.bottleneck(1, 1000).build(), 0);
+  // After many 1000us bottlenecks the EWMA sits near 1000.
+  EXPECT_NEAR(s.current_threshold(), 1000.0, 50.0);
+  EXPECT_EQ(s.level_for(500.0), 0u);    // below mean -> high priority
+  EXPECT_GE(s.level_for(3000.0), 1u);   // well above mean -> low priority
+}
+
+TEST(Rein, OpCountMetricWhenConfigured) {
+  auto s = make_rein(2, /*use_bytes=*/false);
+  for (OperationId i = 0; i < 50; ++i)
+    s.enqueue(OpBuilder{i}.bottleneck(8, 1.0).build(), 0);
+  EXPECT_NEAR(s.current_threshold(), 8.0, 1.0);
+}
+
+TEST(Rein, AgingPromotesStarvedOp) {
+  auto s = make_rein(2, true, /*max_wait=*/100.0);
+  for (OperationId i = 0; i < 20; ++i)
+    s.enqueue(OpBuilder{i}.bottleneck(1, 10).build(), 0);
+  while (!s.empty()) s.dequeue(1);
+
+  // A wide op arrives at t=10, then a stream of narrow ops keeps coming.
+  s.enqueue(OpBuilder{999}.bottleneck(32, 10000).build(), 10.0);
+  for (OperationId i = 100; i < 110; ++i)
+    s.enqueue(OpBuilder{i}.bottleneck(1, 10).build(), 11.0);
+  // Before the bound, narrow ops win.
+  EXPECT_NE(s.dequeue(50.0).op_id, 999u);
+  // Past the bound, the starved wide op is served next.
+  EXPECT_EQ(s.dequeue(200.0).op_id, 999u);
+}
+
+TEST(Rein, MoreLevelsSeparateFiner) {
+  auto s = make_rein(4);
+  for (OperationId i = 0; i < 100; ++i)
+    s.enqueue(OpBuilder{i}.bottleneck(1, 100).build(), 0);
+  while (!s.empty()) s.dequeue(1);
+  EXPECT_EQ(s.level_for(50.0), 0u);
+  EXPECT_EQ(s.level_for(150.0), 1u);
+  EXPECT_EQ(s.level_for(350.0), 2u);
+  EXPECT_EQ(s.level_for(10000.0), 3u);  // clamped to last level
+}
+
+TEST(Rein, FirstOpSeedsThreshold) {
+  auto s = make_rein();
+  EXPECT_EQ(s.level_for(123.0), 0u);  // unseeded: everything high priority
+  s.enqueue(OpBuilder{1}.bottleneck(1, 200).build(), 0);
+  EXPECT_DOUBLE_EQ(s.current_threshold(), 200.0);
+}
+
+TEST(Rein, RejectsDegenerateOptions) {
+  ReinSbfScheduler::Options opt;
+  opt.levels = 1;
+  EXPECT_THROW(ReinSbfScheduler{opt}, std::logic_error);
+}
+
+TEST(Rein, BacklogAccounting) {
+  auto s = make_rein();
+  s.enqueue(OpBuilder{1}.demand(25).build(), 0);
+  s.enqueue(OpBuilder{2}.demand(35).build(), 0);
+  EXPECT_DOUBLE_EQ(s.backlog_demand_us(), 60.0);
+  s.dequeue(1);
+  s.dequeue(1);
+  EXPECT_DOUBLE_EQ(s.backlog_demand_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace das::sched

@@ -1,0 +1,204 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace das::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, EqualTimesDispatchInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 150.0);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1, nullptr), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_at(10, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_at(10, [] {});
+  sim.run();
+  sim.cancel(h);  // already fired: no-op
+  sim.cancel(h);
+  sim.cancel(EventHandle{});  // invalid handle: no-op
+  bool fired = false;
+  sim.schedule_at(20, [&] { fired = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, PendingCountsLiveEventsOnly) {
+  Simulator sim;
+  const EventHandle a = sim.schedule_at(10, [] {});
+  sim.schedule_at(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (double t : {10.0, 20.0, 30.0, 40.0})
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  sim.run_until(25.0);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 25.0);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtHorizon) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(25.0, [&] { fired = true; });
+  sim.run_until(25.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(1000.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 1000.0);
+}
+
+TEST(Simulator, EventsScheduledDuringDispatchRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, DispatchCountTracks) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_dispatched(), 7u);
+}
+
+TEST(PeriodicProcess, FiresAtMultiplesOfPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicProcess proc{sim, 10.0, [&] { fires.push_back(sim.now()); }};
+  proc.start();
+  sim.run_until(35.0);
+  proc.stop();
+  EXPECT_EQ(fires, (std::vector<SimTime>{10.0, 20.0, 30.0}));
+  sim.run();  // nothing left
+  EXPECT_EQ(fires.size(), 3u);
+}
+
+TEST(PeriodicProcess, StopFromWithinCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess proc{sim, 5.0, [&] {
+                         if (++count == 2) proc.stop();
+                       }};
+  proc.start();
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicProcess, StartIsIdempotent) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess proc{sim, 5.0, [&] { ++count; }};
+  proc.start();
+  proc.start();
+  sim.run_until(12.0);
+  proc.stop();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicProcess, DestructorCancelsPending) {
+  Simulator sim;
+  {
+    PeriodicProcess proc{sim, 5.0, [] {}};
+    proc.start();
+  }
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  SimTime last = -1;
+  bool monotone = true;
+  Rng rng{99};
+  for (int i = 0; i < 20000; ++i) {
+    sim.schedule_at(rng.uniform(0, 1e6), [&] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.events_dispatched(), 20000u);
+}
+
+}  // namespace
+}  // namespace das::sim

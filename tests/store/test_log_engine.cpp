@@ -1,0 +1,172 @@
+#include "store/log_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/rng.hpp"
+
+namespace das::store {
+namespace {
+
+LogStructuredEngine small_engine(std::size_t segment_capacity = 8,
+                                 std::size_t compact_at = 3) {
+  LogStructuredEngine::Options opt;
+  opt.segment_capacity = segment_capacity;
+  opt.compact_at_segments = compact_at;
+  return LogStructuredEngine{opt};
+}
+
+TEST(LogEngine, PutGetRoundTrip) {
+  auto eng = small_engine();
+  eng.put(7, 128, 100.0);
+  const auto rec = eng.get(7, 200.0);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->size, 128u);
+  EXPECT_EQ(rec->version, 1u);
+  EXPECT_DOUBLE_EQ(rec->created_at, 100.0);
+}
+
+TEST(LogEngine, OverwriteBumpsVersionKeepsCreatedAt) {
+  auto eng = small_engine();
+  eng.put(7, 100, 1.0);
+  EXPECT_EQ(eng.put(7, 300, 2.0), 2u);
+  const auto rec = eng.get(7, 3.0);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->size, 300u);
+  EXPECT_EQ(rec->version, 2u);
+  EXPECT_DOUBLE_EQ(rec->created_at, 1.0);
+  EXPECT_DOUBLE_EQ(rec->updated_at, 2.0);
+  EXPECT_EQ(eng.key_count(), 1u);
+}
+
+TEST(LogEngine, EraseHidesKeyAndWritesTombstone) {
+  auto eng = small_engine();
+  eng.put(1, 10, 0);
+  EXPECT_TRUE(eng.erase(1));
+  EXPECT_FALSE(eng.get(1, 1).has_value());
+  EXPECT_EQ(eng.peek(1), nullptr);
+  EXPECT_FALSE(eng.erase(1));
+  EXPECT_EQ(eng.key_count(), 0u);
+  EXPECT_GE(eng.total_entries(), 2u);  // value + tombstone in the log
+}
+
+TEST(LogEngine, SegmentsSealAtCapacity) {
+  auto eng = small_engine(8, 100);  // high compaction threshold
+  for (KeyId k = 0; k < 20; ++k) eng.put(k, 10, 0);
+  EXPECT_EQ(eng.log_stats().segments_sealed, 2u);  // 20 entries / 8
+  // All keys remain readable across the seal boundaries.
+  for (KeyId k = 0; k < 20; ++k) ASSERT_TRUE(eng.get(k, 1).has_value()) << k;
+}
+
+TEST(LogEngine, CompactionDropsDeadVersions) {
+  auto eng = small_engine(8, 3);
+  // Overwrite one key many times: most entries become dead.
+  for (int i = 0; i < 100; ++i) eng.put(1, 10 + i, i);
+  EXPECT_GT(eng.log_stats().compactions, 0u);
+  EXPECT_GT(eng.log_stats().entries_dropped, 50u);
+  // The newest version survives.
+  const auto rec = eng.get(1, 1000);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->size, 109u);
+  EXPECT_EQ(rec->version, 100u);
+  // Space amplification is bounded after compaction.
+  EXPECT_LT(eng.total_entries(), 40u);
+}
+
+TEST(LogEngine, CompactionPreservesEveryLiveKey) {
+  auto eng = small_engine(16, 3);
+  Rng rng{5};
+  std::map<KeyId, Bytes> expect;
+  for (int i = 0; i < 2000; ++i) {
+    const KeyId key = rng.next_below(200);
+    const Bytes size = 1 + rng.next_below(1000);
+    eng.put(key, size, i);
+    expect[key] = size;
+  }
+  EXPECT_GT(eng.log_stats().compactions, 0u);
+  EXPECT_EQ(eng.key_count(), expect.size());
+  for (const auto& [key, size] : expect) {
+    const auto rec = eng.get(key, 1e6);
+    ASSERT_TRUE(rec.has_value()) << key;
+    EXPECT_EQ(rec->size, size) << key;
+  }
+}
+
+TEST(LogEngine, RecoveryRebuildsIdenticalState) {
+  auto eng = small_engine(16, 4);
+  Rng rng{6};
+  std::map<KeyId, std::optional<ValueRecord>> snapshot;
+  for (int i = 0; i < 3000; ++i) {
+    const KeyId key = rng.next_below(150);
+    if (rng.chance(0.8)) {
+      eng.put(key, 1 + rng.next_below(500), i);
+    } else {
+      eng.erase(key);
+    }
+  }
+  for (KeyId key = 0; key < 150; ++key) {
+    const ValueRecord* rec = eng.peek(key);
+    snapshot[key] = rec ? std::optional<ValueRecord>{*rec} : std::nullopt;
+  }
+  const std::size_t live_before = eng.key_count();
+
+  eng.recover();  // drop + replay the log
+
+  EXPECT_EQ(eng.key_count(), live_before);
+  for (KeyId key = 0; key < 150; ++key) {
+    const ValueRecord* rec = eng.peek(key);
+    ASSERT_EQ(rec != nullptr, snapshot[key].has_value()) << key;
+    if (rec) {
+      EXPECT_EQ(rec->size, snapshot[key]->size) << key;
+      EXPECT_EQ(rec->version, snapshot[key]->version) << key;
+    }
+  }
+}
+
+TEST(LogEngine, FuzzAgainstHashEngine) {
+  auto log = small_engine(32, 4);
+  StorageEngine hash;
+  Rng rng{7};
+  for (int step = 0; step < 30000; ++step) {
+    const KeyId key = rng.next_below(500);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {
+        const Bytes size = 1 + rng.next_below(2000);
+        const auto t = static_cast<SimTime>(step);
+        ASSERT_EQ(log.put(key, size, t), hash.put(key, size, t));
+        break;
+      }
+      case 2: {
+        const auto a = log.get(key, step);
+        const auto b = hash.get(key, step);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a) {
+          ASSERT_EQ(a->size, b->size);
+          ASSERT_EQ(a->version, b->version);
+        }
+        break;
+      }
+      case 3:
+        ASSERT_EQ(log.erase(key), hash.erase(key));
+        break;
+    }
+    ASSERT_EQ(log.key_count(), hash.key_count());
+    ASSERT_EQ(log.stats().resident_bytes, hash.stats().resident_bytes);
+  }
+}
+
+TEST(LogEngine, WriteAmplificationIsObservable) {
+  auto eng = small_engine(8, 2);
+  for (int i = 0; i < 500; ++i) eng.put(i % 10, 10, i);
+  const auto& ls = eng.log_stats();
+  EXPECT_GT(ls.compactions, 0u);
+  EXPECT_GT(ls.entries_rewritten, 0u);
+  // 10 live keys; everything else written was eventually dead.
+  EXPECT_GT(ls.entries_dropped, 300u);
+}
+
+}  // namespace
+}  // namespace das::store

@@ -1,0 +1,121 @@
+#include "store/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace das::store {
+namespace {
+
+TEST(ModuloPartitioner, CoversAllServers) {
+  auto p = make_modulo_partitioner(16);
+  std::set<ServerId> seen;
+  for (KeyId k = 0; k < 10000; ++k) seen.insert(p->server_for(k));
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(ModuloPartitioner, IsDeterministic) {
+  auto p = make_modulo_partitioner(8);
+  for (KeyId k = 0; k < 100; ++k) EXPECT_EQ(p->server_for(k), p->server_for(k));
+}
+
+TEST(ModuloPartitioner, BalancedForSequentialKeys) {
+  auto p = make_modulo_partitioner(10);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (KeyId k = 0; k < n; ++k) ++counts[p->server_for(k)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.05);
+}
+
+TEST(ModuloPartitioner, ReplicasDistinctAndPrimaryFirst) {
+  auto p = make_modulo_partitioner(8);
+  for (KeyId k = 0; k < 200; ++k) {
+    const auto reps = p->replicas_for(k, 3);
+    ASSERT_EQ(reps.size(), 3u);
+    EXPECT_EQ(reps[0], p->server_for(k));
+    std::set<ServerId> uniq(reps.begin(), reps.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(ModuloPartitioner, ReplicaCountClampedToCluster) {
+  auto p = make_modulo_partitioner(3);
+  EXPECT_EQ(p->replicas_for(1, 10).size(), 3u);
+}
+
+TEST(ConsistentHashRing, CoversAllServers) {
+  ConsistentHashRing ring{32, 128};
+  std::set<ServerId> seen;
+  for (KeyId k = 0; k < 100000; ++k) seen.insert(ring.server_for(k));
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(ConsistentHashRing, OwnershipSumsToOne) {
+  ConsistentHashRing ring{16, 64};
+  const auto shares = ring.ownership();
+  double total = 0;
+  for (double s : shares) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ConsistentHashRing, ManyVnodesBoundImbalance) {
+  ConsistentHashRing ring{32, 256};
+  const auto shares = ring.ownership();
+  const double avg = 1.0 / 32;
+  for (double s : shares) {
+    EXPECT_GT(s, avg * 0.5);
+    EXPECT_LT(s, avg * 1.6);
+  }
+}
+
+TEST(ConsistentHashRing, FewVnodesAreMoreImbalanced) {
+  ConsistentHashRing few{32, 2}, many{32, 512};
+  const auto spread = [](const ConsistentHashRing& r) {
+    const auto s = r.ownership();
+    return *std::max_element(s.begin(), s.end()) -
+           *std::min_element(s.begin(), s.end());
+  };
+  EXPECT_GT(spread(few), spread(many));
+}
+
+TEST(ConsistentHashRing, MinimalDisruptionOnGrowth) {
+  ConsistentHashRing before{32, 128};
+  const ConsistentHashRing after = before.with_servers(33);
+  const int n = 50000;
+  int moved = 0;
+  for (KeyId k = 0; k < n; ++k)
+    if (before.server_for(k) != after.server_for(k)) ++moved;
+  // Ideal churn is 1/33 of keys; allow 2x slack for vnode variance.
+  EXPECT_LT(static_cast<double>(moved) / n, 2.0 / 33.0);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ConsistentHashRing, ReplicasDistinct) {
+  ConsistentHashRing ring{8, 64};
+  for (KeyId k = 0; k < 500; ++k) {
+    const auto reps = ring.replicas_for(k, 3);
+    ASSERT_EQ(reps.size(), 3u);
+    EXPECT_EQ(reps[0], ring.server_for(k));
+    std::set<ServerId> uniq(reps.begin(), reps.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(ConsistentHashRing, SingleServerOwnsEverything) {
+  ConsistentHashRing ring{1, 16};
+  for (KeyId k = 0; k < 100; ++k) EXPECT_EQ(ring.server_for(k), 0u);
+  EXPECT_NEAR(ring.ownership()[0], 1.0, 1e-9);
+}
+
+TEST(ConsistentHashRing, SeedChangesLayout) {
+  ConsistentHashRing a{16, 64, 1}, b{16, 64, 2};
+  int differs = 0;
+  for (KeyId k = 0; k < 1000; ++k)
+    if (a.server_for(k) != b.server_for(k)) ++differs;
+  EXPECT_GT(differs, 500);
+}
+
+}  // namespace
+}  // namespace das::store

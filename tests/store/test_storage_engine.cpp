@@ -1,0 +1,86 @@
+#include "store/storage_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::store {
+namespace {
+
+TEST(StorageEngine, GetMissingIsMiss) {
+  StorageEngine eng;
+  EXPECT_FALSE(eng.get(1, 0).has_value());
+  EXPECT_EQ(eng.stats().gets, 1u);
+  EXPECT_EQ(eng.stats().hits, 0u);
+}
+
+TEST(StorageEngine, PutThenGetHit) {
+  StorageEngine eng;
+  eng.put(7, 128, 100.0);
+  const auto rec = eng.get(7, 200.0);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->size, 128u);
+  EXPECT_EQ(rec->version, 1u);
+  EXPECT_DOUBLE_EQ(rec->created_at, 100.0);
+  EXPECT_EQ(eng.stats().hits, 1u);
+}
+
+TEST(StorageEngine, PutBumpsVersionAndUpdatesSize) {
+  StorageEngine eng;
+  EXPECT_EQ(eng.put(7, 100, 1.0), 1u);
+  EXPECT_EQ(eng.put(7, 300, 2.0), 2u);
+  const auto rec = eng.get(7, 3.0);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->size, 300u);
+  EXPECT_EQ(rec->version, 2u);
+  EXPECT_DOUBLE_EQ(rec->created_at, 1.0);
+  EXPECT_DOUBLE_EQ(rec->updated_at, 2.0);
+}
+
+TEST(StorageEngine, ResidentBytesTracksPutsAndDeletes) {
+  StorageEngine eng;
+  eng.put(1, 100, 0);
+  eng.put(2, 200, 0);
+  EXPECT_EQ(eng.stats().resident_bytes, 300u);
+  eng.put(1, 50, 1);  // shrink
+  EXPECT_EQ(eng.stats().resident_bytes, 250u);
+  EXPECT_TRUE(eng.erase(2));
+  EXPECT_EQ(eng.stats().resident_bytes, 50u);
+}
+
+TEST(StorageEngine, EraseMissingReturnsFalse) {
+  StorageEngine eng;
+  EXPECT_FALSE(eng.erase(99));
+  EXPECT_EQ(eng.stats().deletes, 0u);
+}
+
+TEST(StorageEngine, CountersDistinguishInsertsFromUpdates) {
+  StorageEngine eng;
+  eng.put(1, 10, 0);
+  eng.put(1, 20, 0);
+  eng.put(2, 10, 0);
+  EXPECT_EQ(eng.stats().puts, 3u);
+  EXPECT_EQ(eng.stats().inserts, 2u);
+  EXPECT_EQ(eng.stats().updates, 1u);
+  EXPECT_EQ(eng.key_count(), 2u);
+}
+
+TEST(StorageEngine, PeekDoesNotPerturbStats) {
+  StorageEngine eng;
+  eng.put(1, 10, 0);
+  EXPECT_NE(eng.peek(1), nullptr);
+  EXPECT_EQ(eng.peek(2), nullptr);
+  EXPECT_EQ(eng.stats().gets, 0u);
+}
+
+TEST(StorageEngine, ManyKeys) {
+  StorageEngine eng;
+  for (KeyId k = 0; k < 20000; ++k) eng.put(k, k % 1000 + 1, 0);
+  EXPECT_EQ(eng.key_count(), 20000u);
+  for (KeyId k = 0; k < 20000; k += 97) {
+    const auto rec = eng.get(k, 1);
+    ASSERT_TRUE(rec.has_value());
+    ASSERT_EQ(rec->size, k % 1000 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace das::store

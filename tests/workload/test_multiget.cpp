@@ -1,0 +1,144 @@
+#include "workload/multiget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+
+namespace das::workload {
+namespace {
+
+MultigetGenerator make_gen(std::uint64_t universe, double theta, IntDistPtr fanout) {
+  MultigetGenerator::Config cfg;
+  cfg.key_universe = universe;
+  cfg.zipf_theta = theta;
+  cfg.fanout = std::move(fanout);
+  return MultigetGenerator{cfg};
+}
+
+TEST(MultigetGenerator, KeysAreDistinct) {
+  auto gen = make_gen(1000, 0.99, make_fixed_int(16));
+  Rng rng{1};
+  for (int i = 0; i < 2000; ++i) {
+    const auto spec = gen.generate(rng);
+    ASSERT_EQ(spec.keys.size(), 16u);
+    std::set<KeyId> uniq(spec.keys.begin(), spec.keys.end());
+    ASSERT_EQ(uniq.size(), 16u);
+  }
+}
+
+TEST(MultigetGenerator, KeysWithinUniverse) {
+  auto gen = make_gen(100, 0.5, make_uniform_int(1, 8));
+  Rng rng{2};
+  for (int i = 0; i < 5000; ++i) {
+    for (const KeyId k : gen.generate(rng).keys) ASSERT_LT(k, 100u);
+  }
+}
+
+TEST(MultigetGenerator, FanoutClampedToUniverse) {
+  auto gen = make_gen(5, 0.0, make_fixed_int(50));
+  Rng rng{3};
+  const auto spec = gen.generate(rng);
+  EXPECT_EQ(spec.keys.size(), 5u);  // all keys of the universe, distinct
+  std::set<KeyId> uniq(spec.keys.begin(), spec.keys.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(MultigetGenerator, HeavySkewStillTerminatesWithDistinctKeys) {
+  auto gen = make_gen(64, 1.5, make_fixed_int(32));
+  Rng rng{4};
+  for (int i = 0; i < 500; ++i) {
+    const auto spec = gen.generate(rng);
+    std::set<KeyId> uniq(spec.keys.begin(), spec.keys.end());
+    ASSERT_EQ(uniq.size(), 32u);
+  }
+}
+
+TEST(MultigetGenerator, SkewIsObservable) {
+  auto gen = make_gen(10000, 0.99, make_fixed_int(1));
+  Rng rng{5};
+  std::map<KeyId, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[gen.generate(rng).keys[0]];
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // Hottest key should be far above the uniform expectation of 10.
+  EXPECT_GT(max_count, 1000);
+}
+
+TEST(MultigetGenerator, ThetaZeroIsRoughlyUniform) {
+  auto gen = make_gen(100, 0.0, make_fixed_int(1));
+  Rng rng{6};
+  std::map<KeyId, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[gen.generate(rng).keys[0]];
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [k, c] : counts) EXPECT_NEAR(c, n / 100, n / 100 * 0.2);
+}
+
+TEST(MultigetGenerator, RankToKeyIsABijection) {
+  auto gen = make_gen(10000, 0.9, make_fixed_int(1));
+  std::set<KeyId> keys;
+  for (std::uint64_t r = 0; r < 10000; ++r) keys.insert(gen.key_for_rank(r));
+  EXPECT_EQ(keys.size(), 10000u);
+  EXPECT_EQ(*keys.rbegin(), 9999u);
+}
+
+TEST(MultigetGenerator, RankPermutationScattersHotKeys) {
+  auto gen = make_gen(10000, 0.9, make_fixed_int(1));
+  // The top-100 ranks should not cluster in a narrow key-id band.
+  KeyId lo = 10000, hi = 0;
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    lo = std::min(lo, gen.key_for_rank(r));
+    hi = std::max(hi, gen.key_for_rank(r));
+  }
+  EXPECT_LT(lo, 2000u);
+  EXPECT_GT(hi, 8000u);
+}
+
+TEST(MultigetGenerator, MeanFanoutDelegates) {
+  auto gen = make_gen(100, 0.0, make_fixed_int(7));
+  EXPECT_DOUBLE_EQ(gen.mean_fanout(), 7.0);
+}
+
+TEST(Trace, GenerateProducesSortedArrivals) {
+  auto gen = make_gen(1000, 0.9, make_geometric(0.25, 64));
+  Rng rng{7};
+  const Trace trace = Trace::generate(gen, 0.01, 5000, rng);
+  ASSERT_EQ(trace.requests.size(), 5000u);
+  for (std::size_t i = 1; i < trace.requests.size(); ++i)
+    ASSERT_GT(trace.requests[i].arrival, trace.requests[i - 1].arrival);
+  EXPECT_GT(trace.total_operations(), 5000u);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  auto gen = make_gen(500, 0.8, make_uniform_int(1, 12));
+  Rng rng{8};
+  const Trace trace = Trace::generate(gen, 0.05, 300, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "das_trace_test.txt").string();
+  trace.save(path);
+  const Trace loaded = Trace::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.requests.size(), trace.requests.size());
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    ASSERT_DOUBLE_EQ(loaded.requests[i].arrival, trace.requests[i].arrival);
+    ASSERT_EQ(loaded.requests[i].keys, trace.requests[i].keys);
+  }
+}
+
+TEST(Trace, LoadMissingFileThrows) {
+  EXPECT_THROW(Trace::load("/nonexistent/path/trace.txt"), std::logic_error);
+}
+
+TEST(MultigetGenerator, DeterministicForSameRngSeed) {
+  auto gen = make_gen(2000, 0.9, make_geometric(0.2, 32));
+  Rng a{9}, b{9};
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(gen.generate(a).keys, gen.generate(b).keys);
+}
+
+}  // namespace
+}  // namespace das::workload

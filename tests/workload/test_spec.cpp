@@ -1,0 +1,53 @@
+#include "workload/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace das::workload {
+namespace {
+
+TEST(SpecParse, IntFamilies) {
+  EXPECT_DOUBLE_EQ(parse_int_dist("fixed:8")->mean(), 8.0);
+  EXPECT_DOUBLE_EQ(parse_int_dist("uniform:1:15")->mean(), 8.0);
+  EXPECT_NEAR(parse_int_dist("geometric:0.25:10000")->mean(), 4.0, 0.01);
+  EXPECT_DOUBLE_EQ(parse_int_dist("bimodal:2:32:0.2")->mean(), 8.0);
+  EXPECT_GT(parse_int_dist("zipf:64:1.1")->mean(), 1.0);
+}
+
+TEST(SpecParse, RealFamilies) {
+  EXPECT_DOUBLE_EQ(parse_real_dist("constant:385")->mean(), 385.0);
+  EXPECT_DOUBLE_EQ(parse_real_dist("uniform:10:760")->mean(), 385.0);
+  EXPECT_DOUBLE_EQ(parse_real_dist("exponential:385")->mean(), 385.0);
+  EXPECT_DOUBLE_EQ(parse_real_dist("lognormal:385:1.5")->mean(), 385.0);
+  EXPECT_GT(parse_real_dist("gpareto:1:250:0.35:65536")->mean(), 1.0);
+}
+
+TEST(SpecParse, RoundTripDescribe) {
+  // describe() is free-form but should at least name the family.
+  EXPECT_NE(parse_int_dist("geometric:0.125:128")->describe().find("geometric"),
+            std::string::npos);
+}
+
+TEST(SpecParse, UnknownFamilyThrows) {
+  EXPECT_THROW(parse_int_dist("weibull:1:2"), std::logic_error);
+  EXPECT_THROW(parse_real_dist("weibull:1:2"), std::logic_error);
+}
+
+TEST(SpecParse, WrongArityThrows) {
+  EXPECT_THROW(parse_int_dist("fixed"), std::logic_error);
+  EXPECT_THROW(parse_int_dist("fixed:1:2"), std::logic_error);
+  EXPECT_THROW(parse_real_dist("gpareto:1:250:0.35"), std::logic_error);
+}
+
+TEST(SpecParse, BadNumberThrows) {
+  EXPECT_THROW(parse_int_dist("fixed:eight"), std::logic_error);
+  EXPECT_THROW(parse_real_dist("constant:3.14x"), std::logic_error);
+  EXPECT_THROW(parse_int_dist("fixed:-3"), std::logic_error);
+}
+
+TEST(SpecParse, DegenerateValuesRejectedByFactories) {
+  EXPECT_THROW(parse_int_dist("fixed:0"), std::logic_error);
+  EXPECT_THROW(parse_real_dist("exponential:0"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace das::workload

@@ -1,0 +1,181 @@
+// dassim — run arbitrary DAS cluster experiments from the command line.
+//
+//   ./build/tools/dassim --policy=das --load=0.8 --servers=64
+//   ./build/tools/dassim --policy=all --fanout=bimodal:2:32:0.2 --format=csv
+//   ./build/tools/dassim --policy=das,fcfs --stragglers=0.25 --straggler-speed=0.5
+//
+// Prints one row per policy; --format=csv emits machine-readable output for
+// plotting scripts.
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "workload/spec.hpp"
+
+namespace {
+
+using namespace das;
+
+std::vector<sched::Policy> parse_policies(const std::string& spec) {
+  if (spec == "all") return sched::all_policies();
+  std::vector<sched::Policy> out;
+  std::istringstream is{spec};
+  std::string name;
+  while (std::getline(is, name, ',')) out.push_back(sched::policy_from_string(name));
+  DAS_CHECK_MSG(!out.empty(), "no policies given");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("policy", "fcfs,rein-sbf,das",
+               "comma-separated policy list, or 'all'");
+  flags.define("servers", "32", "number of store servers");
+  flags.define("clients", "8", "number of front-end clients");
+  flags.define("keys-per-server", "1000", "keyspace size per server");
+  flags.define("load", "0.7", "target utilisation in (0,1)");
+  flags.define("calibration", "average",
+               "load calibration: 'average' capacity or 'hottest' server");
+  flags.define("theta", "0", "Zipf key-popularity skew (0 = uniform)");
+  flags.define("fanout", "geometric:0.125:128",
+               "multiget fan-out spec (fixed:K, uniform:LO:HI, geometric:P:CAP, "
+               "zipf:N:THETA, bimodal:S:L:P)");
+  flags.define("value-size", "gpareto:1:250:0.35:65536",
+               "value-size spec in bytes (constant:V, uniform:LO:HI, "
+               "exponential:M, lognormal:M:S, gpareto:L:S:SH:CAP)");
+  flags.define("op-overhead-us", "20", "fixed service cost per op (us)");
+  flags.define("bytes-per-us", "50", "service transfer rate (bytes/us)");
+  flags.define("net-latency-us", "5", "one-way network latency (us)");
+  flags.define("replication", "1", "copies per key");
+  flags.define("selection", "primary",
+               "replica selection: primary | random | least-delay");
+  flags.define("stragglers", "0", "fraction of servers at reduced speed");
+  flags.define("straggler-speed", "0.5", "speed factor of straggler servers");
+  flags.define("ring-vnodes", "0", "consistent-hash vnodes (0 = modulo)");
+  flags.define("loss", "0", "per-message drop probability (needs --retry-ms > 0)");
+  flags.define("retry-ms", "0", "retransmission timeout in ms (0 = off)");
+  flags.define("hedge-ms", "0",
+               "hedged-read delay in ms (0 = off; needs --replication >= 2)");
+  flags.define("preemptive", "false",
+               "preempt-resume service (oracle upper bound)");
+  flags.define("write-fraction", "0",
+               "fraction of requests that are write-all PUTs");
+  flags.define("warmup-ms", "30", "warmup window (ms, excluded from metrics)");
+  flags.define("measure-ms", "200", "measurement window (ms)");
+  flags.define("seed", "42", "simulation seed");
+  flags.define("format", "table", "output: table | csv");
+  flags.define("help", "false", "show this help");
+
+  std::string error;
+  if (!flags.parse(argc, argv, &error)) {
+    std::cerr << error << "\n\n";
+    flags.print_help(std::cerr, "dassim");
+    return 2;
+  }
+  if (flags.get_bool("help")) {
+    flags.print_help(std::cout, "dassim");
+    return 0;
+  }
+
+  core::ClusterConfig cfg;
+  cfg.num_servers = static_cast<std::size_t>(flags.get_int("servers"));
+  cfg.num_clients = static_cast<std::size_t>(flags.get_int("clients"));
+  cfg.keys_per_server = static_cast<std::uint64_t>(flags.get_int("keys-per-server"));
+  cfg.target_load = flags.get_double("load");
+  const std::string calibration = flags.get_string("calibration");
+  if (calibration == "average") {
+    cfg.load_calibration = core::LoadCalibration::kAverageCapacity;
+  } else if (calibration == "hottest") {
+    cfg.load_calibration = core::LoadCalibration::kHottestServer;
+  } else {
+    std::cerr << "unknown --calibration: " << calibration << "\n";
+    return 2;
+  }
+  cfg.zipf_theta = flags.get_double("theta");
+  cfg.fanout = workload::parse_int_dist(flags.get_string("fanout"));
+  cfg.value_size_bytes = workload::parse_real_dist(flags.get_string("value-size"));
+  cfg.per_op_overhead_us = flags.get_double("op-overhead-us");
+  cfg.service_bytes_per_us = flags.get_double("bytes-per-us");
+  cfg.net_latency_us = flags.get_double("net-latency-us");
+  cfg.replication = static_cast<std::size_t>(flags.get_int("replication"));
+  const std::string selection = flags.get_string("selection");
+  if (selection == "primary") {
+    cfg.replica_selection = core::ReplicaSelection::kPrimary;
+  } else if (selection == "random") {
+    cfg.replica_selection = core::ReplicaSelection::kRandom;
+  } else if (selection == "least-delay") {
+    cfg.replica_selection = core::ReplicaSelection::kLeastDelay;
+  } else {
+    std::cerr << "unknown --selection: " << selection << "\n";
+    return 2;
+  }
+  cfg.ring_vnodes = static_cast<std::size_t>(flags.get_int("ring-vnodes"));
+  cfg.msg_loss_probability = flags.get_double("loss");
+  cfg.retry_timeout_us = flags.get_double("retry-ms") * kMillisecond;
+  cfg.hedge_delay_us = flags.get_double("hedge-ms") * kMillisecond;
+  cfg.preemptive_service = flags.get_bool("preemptive");
+  cfg.write_fraction = flags.get_double("write-fraction");
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const double straggler_fraction = flags.get_double("stragglers");
+  if (straggler_fraction > 0) {
+    cfg.server_speed_factors.assign(cfg.num_servers, 1.0);
+    const auto n = static_cast<std::size_t>(
+        straggler_fraction * static_cast<double>(cfg.num_servers));
+    const double speed = flags.get_double("straggler-speed");
+    for (std::size_t i = 0; i < n && i < cfg.num_servers; ++i)
+      cfg.server_speed_factors[i] = speed;
+  }
+
+  core::RunWindow window;
+  window.warmup_us = flags.get_double("warmup-ms") * kMillisecond;
+  window.measure_us = flags.get_double("measure-ms") * kMillisecond;
+
+  std::vector<sched::Policy> policies;
+  try {
+    policies = parse_policies(flags.get_string("policy"));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  const auto runs = core::compare_policies(cfg, policies, window);
+  const std::string format = flags.get_string("format");
+  const double fcfs_mean =
+      runs.front().policy == sched::Policy::kFcfs ? runs.front().result.rct.mean : 0;
+
+  if (format == "csv") {
+    std::cout << "policy,requests,mean_rct_us,p50_us,p95_us,p99_us,p999_us,"
+                 "mean_util,max_util,net_msgs,progress_msgs\n";
+    for (const auto& [policy, r] : runs) {
+      std::cout << sched::to_string(policy) << ',' << r.requests_measured << ','
+                << r.rct.mean << ',' << r.rct.p50 << ',' << r.rct.p95 << ','
+                << r.rct.p99 << ',' << r.rct.p999 << ','
+                << r.mean_server_utilization << ',' << r.max_server_utilization
+                << ',' << r.net_messages << ',' << r.progress_messages << '\n';
+    }
+    return 0;
+  }
+  if (format != "table") {
+    std::cerr << "unknown --format: " << format << "\n";
+    return 2;
+  }
+
+  Table table{{"policy", "mean RCT", "p50", "p95", "p99", "p999", "vs fcfs",
+               "util", "max util"}};
+  for (const auto& [policy, r] : runs) {
+    table.add_row(
+        {sched::to_string(policy), Table::fmt(r.rct.mean, 1),
+         Table::fmt(r.rct.p50, 1), Table::fmt(r.rct.p95, 1),
+         Table::fmt(r.rct.p99, 1), Table::fmt(r.rct.p999, 1),
+         fcfs_mean > 0 ? Table::fmt_percent(1.0 - r.rct.mean / fcfs_mean) : "-",
+         Table::fmt(r.mean_server_utilization, 3),
+         Table::fmt(r.max_server_utilization, 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
