@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e15_preemption.cpp" "bench/CMakeFiles/bench_e15_preemption.dir/bench_e15_preemption.cpp.o" "gcc" "bench/CMakeFiles/bench_e15_preemption.dir/bench_e15_preemption.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/das_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/das_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/das_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/das_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/das_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/das_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/das_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_preemption.dir/bench_e15_preemption.cpp.o"
+  "CMakeFiles/bench_e15_preemption.dir/bench_e15_preemption.cpp.o.d"
+  "bench_e15_preemption"
+  "bench_e15_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

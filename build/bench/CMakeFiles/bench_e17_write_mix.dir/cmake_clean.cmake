@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_write_mix.dir/bench_e17_write_mix.cpp.o"
+  "CMakeFiles/bench_e17_write_mix.dir/bench_e17_write_mix.cpp.o.d"
+  "bench_e17_write_mix"
+  "bench_e17_write_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_write_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e17_write_mix.
+# This may be replaced when dependencies are built.

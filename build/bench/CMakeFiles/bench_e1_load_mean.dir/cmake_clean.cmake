@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_load_mean.dir/bench_e1_load_mean.cpp.o"
+  "CMakeFiles/bench_e1_load_mean.dir/bench_e1_load_mean.cpp.o.d"
+  "bench_e1_load_mean"
+  "bench_e1_load_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_load_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

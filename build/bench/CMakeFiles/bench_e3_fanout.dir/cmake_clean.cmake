@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_fanout.dir/bench_e3_fanout.cpp.o"
+  "CMakeFiles/bench_e3_fanout.dir/bench_e3_fanout.cpp.o.d"
+  "bench_e3_fanout"
+  "bench_e3_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

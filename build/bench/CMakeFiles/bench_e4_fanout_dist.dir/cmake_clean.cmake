@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_fanout_dist.dir/bench_e4_fanout_dist.cpp.o"
+  "CMakeFiles/bench_e4_fanout_dist.dir/bench_e4_fanout_dist.cpp.o.d"
+  "bench_e4_fanout_dist"
+  "bench_e4_fanout_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_fanout_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_skew.dir/bench_e5_skew.cpp.o"
+  "CMakeFiles/bench_e5_skew.dir/bench_e5_skew.cpp.o.d"
+  "bench_e5_skew"
+  "bench_e5_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_hetero.dir/bench_e6_hetero.cpp.o"
+  "CMakeFiles/bench_e6_hetero.dir/bench_e6_hetero.cpp.o.d"
+  "bench_e6_hetero"
+  "bench_e6_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

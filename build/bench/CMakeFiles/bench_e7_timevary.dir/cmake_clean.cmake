@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_timevary.dir/bench_e7_timevary.cpp.o"
+  "CMakeFiles/bench_e7_timevary.dir/bench_e7_timevary.cpp.o.d"
+  "bench_e7_timevary"
+  "bench_e7_timevary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_timevary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_valuesize.dir/bench_e9_valuesize.cpp.o"
+  "CMakeFiles/bench_e9_valuesize.dir/bench_e9_valuesize.cpp.o.d"
+  "bench_e9_valuesize"
+  "bench_e9_valuesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_valuesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

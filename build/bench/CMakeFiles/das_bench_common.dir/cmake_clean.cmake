@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/das_bench_common.dir/bench_common.cpp.o.d"
+  "libdas_bench_common.a"
+  "libdas_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_cluster.dir/cache_cluster.cpp.o"
+  "CMakeFiles/cache_cluster.dir/cache_cluster.cpp.o.d"
+  "cache_cluster"
+  "cache_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_common.dir/distributions.cpp.o"
+  "CMakeFiles/das_common.dir/distributions.cpp.o.d"
+  "CMakeFiles/das_common.dir/flags.cpp.o"
+  "CMakeFiles/das_common.dir/flags.cpp.o.d"
+  "CMakeFiles/das_common.dir/rng.cpp.o"
+  "CMakeFiles/das_common.dir/rng.cpp.o.d"
+  "CMakeFiles/das_common.dir/stats.cpp.o"
+  "CMakeFiles/das_common.dir/stats.cpp.o.d"
+  "CMakeFiles/das_common.dir/table.cpp.o"
+  "CMakeFiles/das_common.dir/table.cpp.o.d"
+  "libdas_common.a"
+  "libdas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

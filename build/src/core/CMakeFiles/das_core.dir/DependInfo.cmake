@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/das_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/das_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/das_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/das_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/das_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/das_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/das_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/das_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/das_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/das_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/das_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/das_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/das_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_core.dir/client.cpp.o"
+  "CMakeFiles/das_core.dir/client.cpp.o.d"
+  "CMakeFiles/das_core.dir/cluster.cpp.o"
+  "CMakeFiles/das_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/das_core.dir/config.cpp.o"
+  "CMakeFiles/das_core.dir/config.cpp.o.d"
+  "CMakeFiles/das_core.dir/experiment.cpp.o"
+  "CMakeFiles/das_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/das_core.dir/metrics.cpp.o"
+  "CMakeFiles/das_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/das_core.dir/server.cpp.o"
+  "CMakeFiles/das_core.dir/server.cpp.o.d"
+  "CMakeFiles/das_core.dir/wire.cpp.o"
+  "CMakeFiles/das_core.dir/wire.cpp.o.d"
+  "libdas_core.a"
+  "libdas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/basic_policies.cpp" "src/sched/CMakeFiles/das_sched.dir/basic_policies.cpp.o" "gcc" "src/sched/CMakeFiles/das_sched.dir/basic_policies.cpp.o.d"
+  "/root/repo/src/sched/das.cpp" "src/sched/CMakeFiles/das_sched.dir/das.cpp.o" "gcc" "src/sched/CMakeFiles/das_sched.dir/das.cpp.o.d"
+  "/root/repo/src/sched/rein.cpp" "src/sched/CMakeFiles/das_sched.dir/rein.cpp.o" "gcc" "src/sched/CMakeFiles/das_sched.dir/rein.cpp.o.d"
+  "/root/repo/src/sched/req_srpt.cpp" "src/sched/CMakeFiles/das_sched.dir/req_srpt.cpp.o" "gcc" "src/sched/CMakeFiles/das_sched.dir/req_srpt.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/das_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/das_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/das_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_sched.dir/basic_policies.cpp.o"
+  "CMakeFiles/das_sched.dir/basic_policies.cpp.o.d"
+  "CMakeFiles/das_sched.dir/das.cpp.o"
+  "CMakeFiles/das_sched.dir/das.cpp.o.d"
+  "CMakeFiles/das_sched.dir/rein.cpp.o"
+  "CMakeFiles/das_sched.dir/rein.cpp.o.d"
+  "CMakeFiles/das_sched.dir/req_srpt.cpp.o"
+  "CMakeFiles/das_sched.dir/req_srpt.cpp.o.d"
+  "CMakeFiles/das_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/das_sched.dir/scheduler.cpp.o.d"
+  "libdas_sched.a"
+  "libdas_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_sim.dir/simulator.cpp.o"
+  "CMakeFiles/das_sim.dir/simulator.cpp.o.d"
+  "libdas_sim.a"
+  "libdas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

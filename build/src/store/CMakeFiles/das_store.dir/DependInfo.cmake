@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/log_engine.cpp" "src/store/CMakeFiles/das_store.dir/log_engine.cpp.o" "gcc" "src/store/CMakeFiles/das_store.dir/log_engine.cpp.o.d"
+  "/root/repo/src/store/partitioner.cpp" "src/store/CMakeFiles/das_store.dir/partitioner.cpp.o" "gcc" "src/store/CMakeFiles/das_store.dir/partitioner.cpp.o.d"
+  "/root/repo/src/store/storage_engine.cpp" "src/store/CMakeFiles/das_store.dir/storage_engine.cpp.o" "gcc" "src/store/CMakeFiles/das_store.dir/storage_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/das_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

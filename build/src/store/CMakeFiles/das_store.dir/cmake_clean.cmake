@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_store.dir/log_engine.cpp.o"
+  "CMakeFiles/das_store.dir/log_engine.cpp.o.d"
+  "CMakeFiles/das_store.dir/partitioner.cpp.o"
+  "CMakeFiles/das_store.dir/partitioner.cpp.o.d"
+  "CMakeFiles/das_store.dir/storage_engine.cpp.o"
+  "CMakeFiles/das_store.dir/storage_engine.cpp.o.d"
+  "libdas_store.a"
+  "libdas_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

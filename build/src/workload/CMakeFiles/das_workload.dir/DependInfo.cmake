@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cpp" "src/workload/CMakeFiles/das_workload.dir/arrival.cpp.o" "gcc" "src/workload/CMakeFiles/das_workload.dir/arrival.cpp.o.d"
+  "/root/repo/src/workload/multiget.cpp" "src/workload/CMakeFiles/das_workload.dir/multiget.cpp.o" "gcc" "src/workload/CMakeFiles/das_workload.dir/multiget.cpp.o.d"
+  "/root/repo/src/workload/rate_function.cpp" "src/workload/CMakeFiles/das_workload.dir/rate_function.cpp.o" "gcc" "src/workload/CMakeFiles/das_workload.dir/rate_function.cpp.o.d"
+  "/root/repo/src/workload/spec.cpp" "src/workload/CMakeFiles/das_workload.dir/spec.cpp.o" "gcc" "src/workload/CMakeFiles/das_workload.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/das_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/das_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

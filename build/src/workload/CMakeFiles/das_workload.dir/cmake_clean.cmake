@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_workload.dir/arrival.cpp.o"
+  "CMakeFiles/das_workload.dir/arrival.cpp.o.d"
+  "CMakeFiles/das_workload.dir/multiget.cpp.o"
+  "CMakeFiles/das_workload.dir/multiget.cpp.o.d"
+  "CMakeFiles/das_workload.dir/rate_function.cpp.o"
+  "CMakeFiles/das_workload.dir/rate_function.cpp.o.d"
+  "CMakeFiles/das_workload.dir/spec.cpp.o"
+  "CMakeFiles/das_workload.dir/spec.cpp.o.d"
+  "libdas_workload.a"
+  "libdas_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

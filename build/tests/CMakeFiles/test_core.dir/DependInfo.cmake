@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_client.cpp" "tests/CMakeFiles/test_core.dir/core/test_client.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_client.cpp.o.d"
+  "/root/repo/tests/core/test_cluster.cpp" "tests/CMakeFiles/test_core.dir/core/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cluster.cpp.o.d"
+  "/root/repo/tests/core/test_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "/root/repo/tests/core/test_hedging.cpp" "tests/CMakeFiles/test_core.dir/core/test_hedging.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hedging.cpp.o.d"
+  "/root/repo/tests/core/test_preemption.cpp" "tests/CMakeFiles/test_core.dir/core/test_preemption.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_preemption.cpp.o.d"
+  "/root/repo/tests/core/test_replication.cpp" "tests/CMakeFiles/test_core.dir/core/test_replication.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_replication.cpp.o.d"
+  "/root/repo/tests/core/test_server.cpp" "tests/CMakeFiles/test_core.dir/core/test_server.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_server.cpp.o.d"
+  "/root/repo/tests/core/test_timeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_timeline.cpp.o.d"
+  "/root/repo/tests/core/test_wire.cpp" "tests/CMakeFiles/test_core.dir/core/test_wire.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_wire.cpp.o.d"
+  "/root/repo/tests/core/test_writes.cpp" "tests/CMakeFiles/test_core.dir/core/test_writes.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_writes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/das_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/das_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/das_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/das_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/das_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/das_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_client.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_client.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cluster.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cluster.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_hedging.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_hedging.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_preemption.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_preemption.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_replication.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_replication.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_server.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_server.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_timeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_timeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_wire.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_wire.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_writes.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_writes.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

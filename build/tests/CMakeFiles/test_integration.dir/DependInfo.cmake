@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_fault_injection.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/integration/test_policies_end_to_end.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_policies_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_policies_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_queueing_theory.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_queueing_theory.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_queueing_theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/das_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/das_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/das_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/das_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/das_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/das_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/das_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_basic_policies.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_basic_policies.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_das.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_das.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_keyed_queue.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_keyed_queue.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_rein.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_rein.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_req_srpt.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_req_srpt.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler_properties.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler_properties.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store.dir/store/test_hash_table.cpp.o"
+  "CMakeFiles/test_store.dir/store/test_hash_table.cpp.o.d"
+  "CMakeFiles/test_store.dir/store/test_log_engine.cpp.o"
+  "CMakeFiles/test_store.dir/store/test_log_engine.cpp.o.d"
+  "CMakeFiles/test_store.dir/store/test_partitioner.cpp.o"
+  "CMakeFiles/test_store.dir/store/test_partitioner.cpp.o.d"
+  "CMakeFiles/test_store.dir/store/test_storage_engine.cpp.o"
+  "CMakeFiles/test_store.dir/store/test_storage_engine.cpp.o.d"
+  "test_store"
+  "test_store.pdb"
+  "test_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_arrival.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_arrival.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_multiget.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_multiget.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_rate_function.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_rate_function.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_spec.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_spec.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dassim.dir/dassim.cpp.o"
+  "CMakeFiles/dassim.dir/dassim.cpp.o.d"
+  "dassim"
+  "dassim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dassim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

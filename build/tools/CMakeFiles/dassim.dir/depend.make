@@ -1,0 +1,2 @@
+# Empty dependencies file for dassim.
+# This may be replaced when dependencies are built.
