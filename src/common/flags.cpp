@@ -59,7 +59,7 @@ bool Flags::parse(int argc, const char* const* argv, std::string* error) {
   return true;
 }
 
-bool Flags::has(const std::string& name) const { return entries_.count(name) != 0; }
+bool Flags::has(const std::string& name) const { return entries_.contains(name); }
 
 bool Flags::set_on_command_line(const std::string& name) const {
   const auto it = entries_.find(name);

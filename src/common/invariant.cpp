@@ -1,0 +1,15 @@
+#include "common/invariant.hpp"
+
+#include <sstream>
+
+namespace das::detail {
+
+void audit_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "DAS_AUDIT failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AuditError(os.str());
+}
+
+}  // namespace das::detail

@@ -116,7 +116,7 @@ void Client::generate_request() {
         static_cast<double>(new_size) / params_.service_bytes_per_us;
     for (const ServerId server :
          partitioner_.replicas_for(key, std::max<std::size_t>(params_.replication, 1))) {
-      plan.push_back(PlannedOp{key, server, demand, true, new_size});
+      plan.emplace_back(key, server, demand, true, new_size);
     }
   } else {
     const workload::MultigetSpec spec = generator_.generate(rng_);
@@ -124,7 +124,7 @@ void Client::generate_request() {
     plan.reserve(spec.keys.size());
     for (const KeyId key : spec.keys) {
       const double demand = op_demand_us(key);
-      plan.push_back(PlannedOp{key, pick_server(key, demand), demand, false, 0});
+      plan.emplace_back(key, pick_server(key, demand), demand, false, 0);
     }
   }
 

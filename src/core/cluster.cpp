@@ -96,6 +96,11 @@ Cluster::Cluster(ClusterConfig config, RunWindow window)
     servers_.push_back(std::move(server));
   }
 
+  // Every server (and through it, its scheduler) is auditable; the cadence
+  // decides whether audits run continuously during the event loop.
+  for (const auto& server : servers_) sim_.add_auditable(server.get());
+  sim_.set_audit_cadence(config_.audit_every_events);
+
   // Populate every key on its replica set (primary-only when replication=1).
   const std::size_t replication =
       std::min(std::max<std::size_t>(config_.replication, 1), config_.num_servers);

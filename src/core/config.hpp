@@ -123,6 +123,10 @@ struct ClusterConfig {
 
   // --- run control --------------------------------------------------------
   std::uint64_t seed = 42;
+  /// Run the invariant audit (simulator + every server + its scheduler) each
+  /// time this many events have been dispatched; 0 disables. Audits throw
+  /// AuditError on any violated invariant, independent of build type.
+  std::uint64_t audit_every_events = 0;
   /// Collect a mean-RCT-per-bucket timeline (plotting adaptation
   /// transients); 0 disables.
   Duration timeline_bucket_us = 0;

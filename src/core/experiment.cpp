@@ -16,7 +16,7 @@ std::vector<PolicyRun> compare_policies(ClusterConfig base,
   runs.reserve(policies.size());
   for (const sched::Policy policy : policies) {
     base.policy = policy;
-    runs.push_back(PolicyRun{policy, run_experiment(base, window)});
+    runs.emplace_back(policy, run_experiment(base, window));
   }
   return runs;
 }

@@ -26,8 +26,8 @@ std::vector<Metrics::TimelinePoint> Metrics::timeline() const {
   for (std::size_t b = 0; b < timeline_buckets_.size(); ++b) {
     const StreamingStats& stats = timeline_buckets_[b];
     if (stats.count() == 0) continue;
-    points.push_back(TimelinePoint{static_cast<double>(b) * timeline_bucket_us_,
-                                   stats.mean(), stats.count()});
+    points.emplace_back(static_cast<double>(b) * timeline_bucket_us_,
+                        stats.mean(), stats.count());
   }
   return points;
 }

@@ -50,7 +50,23 @@ double Server::d_hat_us() const {
   return scheduler_->backlog_demand_us() / mu_hat_;
 }
 
+void Server::check_invariants() const {
+  DAS_AUDIT(ops_received_ ==
+                scheduler_->size() + (busy_ ? 1 : 0) + ops_completed_,
+            "op conservation: received != queued + in-service + completed");
+  DAS_AUDIT(mu_hat_ > 0, "nonpositive speed estimate");
+  if (busy_) {
+    DAS_AUDIT(current_op_.demand_us >= 0, "negative remaining service demand");
+    DAS_AUDIT(completion_event_.valid(), "busy server without a completion event");
+    DAS_AUDIT(current_speed_ > 0, "busy server with nonpositive service speed");
+  } else {
+    DAS_AUDIT(scheduler_->empty(), "idle server with queued work");
+  }
+  scheduler_->check_invariants();
+}
+
 void Server::receive_op(const sched::OpContext& op) {
+  ++ops_received_;
   const SimTime now = sim_.now();
   if (busy_ && params_.preemptive) {
     // Snapshot the in-service op's remaining demand and ask the policy.

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/invariant.hpp"
 #include "common/types.hpp"
 #include "core/metrics.hpp"
 #include "sched/scheduler.hpp"
@@ -32,7 +33,7 @@ struct OpResponse {
   double mu_hat = 1.0;
 };
 
-class Server {
+class Server : public Auditable {
  public:
   struct Params {
     ServerId id = 0;
@@ -85,7 +86,13 @@ class Server {
   double busy_time_in_window() const { return busy_in_window_; }
 
   std::uint64_t ops_completed() const { return ops_completed_; }
+  std::uint64_t ops_received() const { return ops_received_; }
   std::uint64_t preemptions() const { return preemptions_; }
+
+  /// Request conservation (every received op is queued, in service, or
+  /// completed), nonnegative remaining service demand, a live completion
+  /// event whenever the server is busy, and the scheduler's own invariants.
+  void check_invariants() const override;
 
  private:
   double current_speed(SimTime now) const;
@@ -109,6 +116,7 @@ class Server {
   sim::EventHandle completion_event_;
   double mu_hat_ = 1.0;
   std::uint64_t ops_completed_ = 0;
+  std::uint64_t ops_received_ = 0;
   std::uint64_t preemptions_ = 0;
 
   SimTime window_begin_ = 0;

@@ -2,6 +2,33 @@
 
 namespace das::sched {
 
+void FcfsScheduler::check_policy_invariants() const {
+  DAS_AUDIT(queue_.size() == size(), "FCFS queue size drifted from accounting");
+  SimTime prev = 0;
+  for (const OpContext& op : queue_) {
+    DAS_AUDIT(op.demand_us >= 0, "queued op with negative demand");
+    DAS_AUDIT(op.enqueued_at >= prev, "FCFS queue out of arrival order");
+    prev = op.enqueued_at;
+  }
+}
+
+void RandomScheduler::check_policy_invariants() const {
+  DAS_AUDIT(queue_.size() == size(), "Random queue size drifted from accounting");
+  for (const OpContext& op : queue_) {
+    DAS_AUDIT(op.demand_us >= 0, "queued op with negative demand");
+  }
+}
+
+void SjfScheduler::check_policy_invariants() const {
+  DAS_AUDIT(queue_.size() == size(), "SJF queue size drifted from accounting");
+  queue_.check_invariants();
+}
+
+void EdfScheduler::check_policy_invariants() const {
+  DAS_AUDIT(queue_.size() == size(), "EDF queue size drifted from accounting");
+  queue_.check_invariants();
+}
+
 void FcfsScheduler::enqueue(const OpContext& op, SimTime now) {
   OpContext copy = op;
   copy.enqueued_at = now;

@@ -22,7 +22,11 @@ class FcfsScheduler final : public SchedulerBase {
   OpContext dequeue(SimTime now) override;
   std::string name() const override { return "fcfs"; }
 
+ protected:
+  void check_policy_invariants() const override;
+
  private:
+  friend struct TestCorruptor;
   std::deque<OpContext> queue_;
 };
 
@@ -34,7 +38,11 @@ class RandomScheduler final : public SchedulerBase {
   OpContext dequeue(SimTime now) override;
   std::string name() const override { return "random"; }
 
+ protected:
+  void check_policy_invariants() const override;
+
  private:
+  friend struct TestCorruptor;
   std::vector<OpContext> queue_;
   Rng rng_;
 };
@@ -48,7 +56,11 @@ class SjfScheduler final : public SchedulerBase {
   OpContext dequeue(SimTime now) override;
   std::string name() const override { return "sjf"; }
 
+ protected:
+  void check_policy_invariants() const override;
+
  private:
+  friend struct TestCorruptor;
   KeyedQueue<double> queue_;
 };
 
@@ -59,7 +71,11 @@ class EdfScheduler final : public SchedulerBase {
   OpContext dequeue(SimTime now) override;
   std::string name() const override { return "edf"; }
 
+ protected:
+  void check_policy_invariants() const override;
+
  private:
+  friend struct TestCorruptor;
   KeyedQueue<SimTime> queue_;
 };
 

@@ -9,6 +9,53 @@ DasScheduler::DasScheduler(Options options) : options_(options) {
   DAS_CHECK(options_.defer_margin > 0);
 }
 
+void DasScheduler::check_policy_invariants() const {
+  DAS_AUDIT(mu_hat_ > 0, "nonpositive speed estimate");
+  DAS_AUDIT(records_.size() == size(), "DAS record count drifted from accounting");
+  DAS_AUDIT(active_.size() + deferred_.size() == records_.size(),
+            "DAS order sets do not partition the records");
+  for (const OrderKey& entry : active_) {
+    const auto it = records_.find(entry.h);
+    DAS_AUDIT(it != records_.end(), "active entry without a record");
+    DAS_AUDIT(!it->second.in_deferred, "deferred record linked in active set");
+    DAS_AUDIT(entry.k == active_key(it->second.op), "stale active ordering key");
+  }
+  for (const OrderKey& entry : deferred_) {
+    const auto it = records_.find(entry.h);
+    DAS_AUDIT(it != records_.end(), "deferred entry without a record");
+    DAS_AUDIT(it->second.in_deferred, "active record linked in deferred set");
+    DAS_AUDIT(entry.k == it->second.op.est_other_completion,
+              "stale deferral expiry key");
+  }
+  std::size_t request_handles = 0;
+  for (const auto& [request, handles] : by_request_) {
+    DAS_AUDIT(!handles.empty(), "empty per-request handle set not pruned");
+    request_handles += handles.size();
+    for (const Handle h : handles) {
+      const auto it = records_.find(h);
+      DAS_AUDIT(it != records_.end(), "per-request index holds a served handle");
+      DAS_AUDIT(it->second.op.request_id == request,
+                "per-request index points at the wrong request");
+    }
+  }
+  DAS_AUDIT(request_handles == records_.size(),
+            "per-request index does not partition the records");
+  for (const auto& [h, rec] : records_) {
+    DAS_AUDIT(h < next_handle_, "record handle from the future");
+    DAS_AUDIT(rec.op.demand_us >= 0, "queued op with negative demand");
+    DAS_AUDIT(rec.op.remaining_critical_us >= 0,
+              "negative critical-path remaining time");
+    DAS_AUDIT(rec.op.total_demand_us >= 0, "negative total remaining demand");
+  }
+  // Aging must be able to reach every queued op: each record appears in the
+  // fifo exactly once (stale entries for served handles are skipped lazily).
+  std::size_t live = 0;
+  for (const Handle h : fifo_) {
+    if (records_.contains(h)) ++live;
+  }
+  DAS_AUDIT(live == records_.size(), "aging fifo lost track of queued ops");
+}
+
 std::string DasScheduler::name() const {
   if (options_.primary_key == PrimaryKey::kCriticalPath) return "das-crit";
   if (!options_.adaptive) return "das-na";
@@ -112,7 +159,7 @@ OpContext DasScheduler::dequeue(SimTime now) {
   DAS_CHECK(!empty());
   // 1. Aging: the oldest op is served unconditionally past its wait bound.
   if (options_.max_wait_us != kTimeInfinity) {
-    while (!fifo_.empty() && records_.count(fifo_.front()) == 0) fifo_.pop_front();
+    while (!fifo_.empty() && !records_.contains(fifo_.front())) fifo_.pop_front();
     if (!fifo_.empty()) {
       const Handle h = fifo_.front();
       if (now - records_.at(h).op.enqueued_at > options_.max_wait_us) {

@@ -91,7 +91,12 @@ class DasScheduler final : public SchedulerBase {
   std::uint64_t total_deferrals() const { return total_deferrals_; }
   std::uint64_t aging_promotions() const { return aging_promotions_; }
 
+ protected:
+  void check_policy_invariants() const override;
+
  private:
+  friend struct TestCorruptor;
+
   using Handle = std::uint64_t;
 
   struct OrderKey {

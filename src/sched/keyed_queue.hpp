@@ -10,15 +10,17 @@
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/invariant.hpp"
 #include "sched/op_context.hpp"
 
 namespace das::sched {
 
 template <typename Key>
-class KeyedQueue {
+class KeyedQueue : public Auditable {
  public:
   using Handle = std::uint64_t;
 
@@ -56,7 +58,7 @@ class KeyedQueue {
     return take(h);
   }
 
-  bool contains(Handle h) const { return ops_.count(h) != 0; }
+  bool contains(Handle h) const { return ops_.contains(h); }
 
   /// Removes an arbitrary element by handle. Precondition: contains(h).
   OpContext remove(Handle h) {
@@ -95,7 +97,30 @@ class KeyedQueue {
   /// Read-only access by handle. Precondition: contains(h).
   const OpContext& at(Handle h) const { return ops_.at(h); }
 
+  /// Structural audit: order index and op storage describe the same set of
+  /// handles (same size, no dangling or duplicated order entries), every
+  /// queued op has nonnegative demand, and no live handle is at or beyond
+  /// the next to be issued.
+  void check_invariants() const override {
+    DAS_AUDIT(order_.size() == ops_.size(), "KeyedQueue order/ops size desync");
+    std::unordered_set<Handle> seen;
+    seen.reserve(order_.size());
+    for (const OrderEntry& entry : order_) {
+      DAS_AUDIT(seen.insert(entry.handle).second,
+                "KeyedQueue handle ordered under two keys");
+      DAS_AUDIT(ops_.contains(entry.handle),
+                "KeyedQueue order entry without a stored op");
+      DAS_AUDIT(entry.handle < next_seq_, "KeyedQueue handle from the future");
+    }
+    for (const auto& [handle, op] : ops_) {
+      static_cast<void>(handle);
+      DAS_AUDIT(op.demand_us >= 0, "queued op with negative demand");
+    }
+  }
+
  private:
+  friend struct TestCorruptor;
+
   struct OrderEntry {
     Key key;
     Handle handle;

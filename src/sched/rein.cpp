@@ -11,6 +11,28 @@ ReinSbfScheduler::ReinSbfScheduler(Options options) : options_(options) {
   levels_.resize(options_.levels);
 }
 
+void ReinSbfScheduler::check_policy_invariants() const {
+  std::size_t queued = 0;
+  for (const auto& level : levels_) {
+    level.check_invariants();
+    queued += level.size();
+  }
+  DAS_AUDIT(queued == size(), "Rein level sizes drifted from accounting");
+  DAS_AUDIT(ewma_bottleneck_ >= 0, "negative bottleneck threshold");
+  DAS_AUDIT(seeded_ || size() == 0 || enqueued_total() == 0,
+            "threshold never seeded despite arrivals");
+  // Every queued op must be reachable by the aging scan: each live fifo
+  // entry names a still-queued handle at its recorded level, and the live
+  // entries cover the whole queue (stale entries for served ops are fine —
+  // dequeue() skips them lazily).
+  std::size_t live = 0;
+  for (const FifoEntry& entry : fifo_) {
+    DAS_AUDIT(entry.level < levels_.size(), "fifo entry with bad level");
+    if (levels_[entry.level].contains(entry.handle)) ++live;
+  }
+  DAS_AUDIT(live == queued, "aging fifo lost track of queued ops");
+}
+
 std::size_t ReinSbfScheduler::level_for(double v) const {
   if (!seeded_ || ewma_bottleneck_ <= 0) return 0;
   // Geometric bands around the running mean: level 0 below the mean, then
@@ -40,7 +62,7 @@ void ReinSbfScheduler::enqueue(const OpContext& op, SimTime now) {
   const std::size_t level = level_for(v);
   const std::uint64_t seq = next_arrival_seq_++;
   const Handle h = levels_[level].insert(seq, std::move(copy));
-  fifo_.push_back(FifoEntry{level, seq, h});
+  fifo_.emplace_back(level, seq, h);
 }
 
 OpContext ReinSbfScheduler::take(std::size_t level, std::uint64_t arrival_seq,

@@ -37,7 +37,12 @@ class ReinSbfScheduler final : public SchedulerBase {
   std::size_t level_for(double v) const;
   double current_threshold() const { return ewma_bottleneck_; }
 
+ protected:
+  void check_policy_invariants() const override;
+
  private:
+  friend struct TestCorruptor;
+
   using Handle = KeyedQueue<std::uint64_t>::Handle;
 
   struct FifoEntry {

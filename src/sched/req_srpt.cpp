@@ -2,6 +2,27 @@
 
 namespace das::sched {
 
+void ReqSrptScheduler::check_policy_invariants() const {
+  DAS_AUDIT(queue_.size() == size(), "SRPT queue size drifted from accounting");
+  DAS_AUDIT(key_of_.size() == queue_.size(), "SRPT key index size desync");
+  queue_.check_invariants();
+  std::size_t request_handles = 0;
+  for (const auto& [request, handles] : by_request_) {
+    static_cast<void>(request);
+    DAS_AUDIT(!handles.empty(), "empty per-request handle set not pruned");
+    request_handles += handles.size();
+    for (const Handle h : handles) {
+      DAS_AUDIT(queue_.contains(h), "per-request index holds a served handle");
+    }
+  }
+  DAS_AUDIT(request_handles == queue_.size(),
+            "per-request index does not partition the queue");
+  for (const auto& [h, key] : key_of_) {
+    DAS_AUDIT(queue_.contains(h), "key index holds a served handle");
+    DAS_AUDIT(key >= 0, "negative remaining total demand");
+  }
+}
+
 void ReqSrptScheduler::enqueue(const OpContext& op, SimTime now) {
   OpContext copy = op;
   copy.enqueued_at = now;

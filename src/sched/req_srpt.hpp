@@ -27,7 +27,12 @@ class ReqSrptScheduler final : public SchedulerBase {
   bool preempts(const OpContext& incoming, const OpContext& in_service) const override;
   std::string name() const override { return "req-srpt"; }
 
+ protected:
+  void check_policy_invariants() const override;
+
  private:
+  friend struct TestCorruptor;
+
   using Handle = KeyedQueue<double>::Handle;
 
   KeyedQueue<double> queue_;

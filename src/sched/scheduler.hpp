@@ -12,15 +12,20 @@
 #include <string>
 #include <vector>
 
+#include "common/invariant.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sched/op_context.hpp"
 
 namespace das::sched {
 
-class Scheduler {
+/// Schedulers are Auditable: check_invariants() verifies conservation
+/// (every enqueued op is still queued or was dequeued), nonnegative backlog
+/// and remaining-work tags, and the consistency of the policy's internal
+/// order structures. See SchedulerBase.
+class Scheduler : public Auditable {
  public:
-  virtual ~Scheduler() = default;
+  ~Scheduler() override = default;
 
   /// Adds an operation to the queue. `now` is the server-local arrival time.
   virtual void enqueue(const OpContext& op, SimTime now) = 0;

@@ -1,6 +1,8 @@
 // Shared bookkeeping for scheduler implementations.
 #pragma once
 
+#include <cstdint>
+
 #include "common/check.hpp"
 #include "sched/scheduler.hpp"
 
@@ -15,20 +17,44 @@ class SchedulerBase : public Scheduler {
   std::size_t size() const final { return count_; }
   double backlog_demand_us() const final { return backlog_us_ < 0 ? 0 : backlog_us_; }
 
+  /// Conservation audit shared by every policy: ops enqueued over the
+  /// scheduler's lifetime equal ops dequeued plus ops still queued, the
+  /// backlog is nonnegative and zero exactly when the queue is empty. Policy
+  /// structure is audited by check_policy_invariants().
+  void check_invariants() const final {
+    DAS_AUDIT(enqueued_total_ == dequeued_total_ + count_,
+              "op conservation: enqueued != dequeued + queued");
+    DAS_AUDIT(count_ > 0 || backlog_us_ == 0, "backlog nonzero on empty queue");
+    DAS_AUDIT(backlog_demand_us() >= 0, "negative backlog demand");
+    check_policy_invariants();
+  }
+
+  std::uint64_t enqueued_total() const { return enqueued_total_; }
+  std::uint64_t dequeued_total() const { return dequeued_total_; }
+
  protected:
+  /// Audits the policy's own order structures; default has none.
+  virtual void check_policy_invariants() const {}
+
   void note_in(const OpContext& op) {
     ++count_;
+    ++enqueued_total_;
     backlog_us_ += op.demand_us;
   }
   void note_out(const OpContext& op) {
     DAS_CHECK(count_ > 0);
     --count_;
+    ++dequeued_total_;
     backlog_us_ -= op.demand_us;
     if (count_ == 0) backlog_us_ = 0;  // wash out float drift at empty
   }
 
  private:
+  friend struct TestCorruptor;
+
   std::size_t count_ = 0;
+  std::uint64_t enqueued_total_ = 0;
+  std::uint64_t dequeued_total_ = 0;
   double backlog_us_ = 0;
 };
 

@@ -11,7 +11,7 @@ EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   DAS_CHECK_MSG(t >= now_, "cannot schedule into the past");
   DAS_CHECK(fn != nullptr);
   const std::uint64_t id = next_id_++;
-  queue_.push_back(Node{t, next_seq_++, id, std::move(fn)});
+  queue_.emplace_back(t, next_seq_++, id, std::move(fn));
   std::push_heap(queue_.begin(), queue_.end());
   pending_ids_.insert(id);
   return EventHandle{id};
@@ -48,7 +48,47 @@ bool Simulator::step() {
   now_ = node.t;
   ++dispatched_;
   node.fn();
+  maybe_audit();
   return true;
+}
+
+void Simulator::add_auditable(const Auditable* auditable) {
+  DAS_CHECK(auditable != nullptr);
+  auditables_.push_back(auditable);
+}
+
+void Simulator::check_invariants() const {
+  DAS_AUDIT(std::is_heap(queue_.begin(), queue_.end()),
+            "event queue lost the heap property");
+  std::unordered_set<std::uint64_t> ids;
+  ids.reserve(queue_.size());
+  std::size_t live = 0;
+  for (const Node& node : queue_) {
+    DAS_AUDIT(ids.insert(node.id).second, "duplicate event id in the heap");
+    DAS_AUDIT(node.id < next_id_, "event id from the future");
+    DAS_AUDIT(node.seq < next_seq_, "event sequence from the future");
+    if (pending_ids_.contains(node.id)) {
+      ++live;
+      // Time monotonicity: dispatching any live event may never move the
+      // clock backwards.
+      DAS_AUDIT(node.t >= now_, "live event scheduled in the past");
+      DAS_AUDIT(node.fn != nullptr, "live event without a callback");
+    }
+  }
+  DAS_AUDIT(live == pending_ids_.size(),
+            "live-id index out of sync with the heap");
+}
+
+void Simulator::audit_now() const {
+  ++audits_run_;
+  check_invariants();
+  for (const Auditable* auditable : auditables_) {
+    auditable->check_invariants();
+  }
+}
+
+void Simulator::maybe_audit() const {
+  if (audit_cadence_ != 0 && dispatched_ % audit_cadence_ == 0) audit_now();
 }
 
 void Simulator::run() {
@@ -71,6 +111,7 @@ void Simulator::run_until(SimTime t) {
     now_ = node.t;
     ++dispatched_;
     node.fn();
+    maybe_audit();
   }
   now_ = t;
 }

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/invariant.hpp"
 #include "common/types.hpp"
 
 namespace das::sim {
@@ -29,7 +30,7 @@ class EventHandle {
   std::uint64_t id_ = 0;
 };
 
-class Simulator {
+class Simulator : public Auditable {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -62,6 +63,27 @@ class Simulator {
   std::size_t pending() const { return pending_ids_.size(); }
   std::uint64_t events_dispatched() const { return dispatched_; }
 
+  /// --- invariant auditing ---------------------------------------------------
+  /// Registers a component to audit alongside the simulator itself. The
+  /// pointer must outlive the simulator (the cluster owns both). Audits run
+  /// every `cadence` dispatched events (set_audit_cadence) and on audit_now().
+  void add_auditable(const Auditable* auditable);
+
+  /// Audit every `every_n_events` dispatched events; 0 disables (default).
+  /// Event timestamps are checked between dispatches, so the cadence also
+  /// verifies time monotonicity continuously.
+  void set_audit_cadence(std::uint64_t every_n_events) { audit_cadence_ = every_n_events; }
+  std::uint64_t audit_cadence() const { return audit_cadence_; }
+  std::uint64_t audits_run() const { return audits_run_; }
+
+  /// Audits the simulator and every registered component immediately.
+  /// Throws AuditError on the first violation.
+  void audit_now() const;
+
+  /// Simulator-local invariants: the heap is a heap, no live event is
+  /// scheduled in the past, and the live-id index matches the heap contents.
+  void check_invariants() const override;
+
  private:
   struct Node {
     SimTime t;
@@ -82,12 +104,18 @@ class Simulator {
   // us move the std::function out of the popped node. pending_ids_ holds the
   // ids of live (scheduled, not yet fired or cancelled) events: cancel()
   // erases from it and pop_next() skips heap nodes whose id is absent.
+  /// Runs the cadence audit when one is due.
+  void maybe_audit() const;
+
   std::vector<Node> queue_;
   std::unordered_set<std::uint64_t> pending_ids_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::vector<const Auditable*> auditables_;
+  std::uint64_t audit_cadence_ = 0;
+  mutable std::uint64_t audits_run_ = 0;
 };
 
 /// Repeats a callback with a fixed period until stopped. The callback runs

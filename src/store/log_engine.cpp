@@ -19,7 +19,7 @@ const LogStructuredEngine::Entry& LogStructuredEngine::at(Location loc) const {
 
 void LogStructuredEngine::append(KeyId key, const ValueRecord& record,
                                  bool tombstone) {
-  active_.entries.push_back(Entry{key, record, tombstone});
+  active_.entries.emplace_back(key, record, tombstone);
   index_.put(key, Location{kActive, static_cast<std::uint32_t>(
                                         active_.entries.size() - 1)});
   seal_active_if_full();

@@ -55,7 +55,7 @@ ConsistentHashRing::ConsistentHashRing(std::size_t servers,
   for (std::size_t s = 0; s < servers; ++s) {
     std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ull * (s + 1));
     for (std::size_t v = 0; v < vnodes_per_server; ++v) {
-      ring_.push_back(Point{splitmix64(state), static_cast<ServerId>(s)});
+      ring_.emplace_back(splitmix64(state), static_cast<ServerId>(s));
     }
   }
   std::sort(ring_.begin(), ring_.end());

@@ -1,0 +1,80 @@
+// The audit macro layer itself: DAS_AUDIT always throws AuditError with a
+// useful message; DAS_DCHECK is active exactly when DAS_AUDIT_ENABLED says so
+// (Debug and sanitizer builds) and compiles out — expression unevaluated — in
+// Release.
+#include "common/invariant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace das {
+namespace {
+
+TEST(Audit, PassingAuditIsSilent) {
+  EXPECT_NO_THROW(DAS_AUDIT(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Audit, FailingAuditThrowsAuditError) {
+  EXPECT_THROW(DAS_AUDIT(false, "broken"), AuditError);
+}
+
+TEST(Audit, AuditErrorIsALogicError) {
+  // Existing DAS_CHECK handlers (catching std::logic_error) must also catch
+  // audit failures.
+  EXPECT_THROW(DAS_AUDIT(false, "broken"), std::logic_error);
+}
+
+TEST(Audit, MessageNamesExpressionLocationAndDetail) {
+  try {
+    DAS_AUDIT(2 < 1, "the detail string");
+    FAIL() << "DAS_AUDIT did not throw";
+  } catch (const AuditError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_invariant.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("the detail string"), std::string::npos) << what;
+  }
+}
+
+TEST(Dcheck, ActiveExactlyWhenAuditEnabled) {
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  DAS_DCHECK(count());
+  DAS_DCHECK_MSG(count(), "with message");
+#if DAS_AUDIT_ENABLED
+  EXPECT_EQ(evaluations, 2);
+#else
+  // Release: the expression must not be evaluated at all.
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(Dcheck, FailureBehaviourMatchesBuildType) {
+#if DAS_AUDIT_ENABLED
+  EXPECT_THROW(DAS_DCHECK(false), AuditError);
+  EXPECT_THROW(DAS_DCHECK_MSG(false, "msg"), AuditError);
+#else
+  EXPECT_NO_THROW(DAS_DCHECK(false));
+  EXPECT_NO_THROW(DAS_DCHECK_MSG(false, "msg"));
+#endif
+}
+
+class CountingAuditable final : public Auditable {
+ public:
+  void check_invariants() const override { ++calls; }
+  mutable int calls = 0;
+};
+
+TEST(Auditable, PolymorphicDispatch) {
+  CountingAuditable counting;
+  const Auditable& as_interface = counting;
+  as_interface.check_invariants();
+  EXPECT_EQ(counting.calls, 1);
+}
+
+}  // namespace
+}  // namespace das

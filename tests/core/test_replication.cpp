@@ -72,8 +72,8 @@ INSTANTIATE_TEST_SUITE_P(AllSelections, SelectionConservation,
                          ::testing::Values(ReplicaSelection::kPrimary,
                                            ReplicaSelection::kRandom,
                                            ReplicaSelection::kLeastDelay),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case ReplicaSelection::kPrimary: return "primary";
                              case ReplicaSelection::kRandom: return "random";
                              case ReplicaSelection::kLeastDelay: return "least_delay";

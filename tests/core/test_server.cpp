@@ -83,7 +83,7 @@ TEST_F(ServerFixture, QueueDrainsSequentially) {
   sim.run();
   ASSERT_EQ(responses.size(), 5u);
   for (std::size_t i = 0; i < 5; ++i)
-    EXPECT_DOUBLE_EQ(responses[i].completed_at, (i + 1) * 10.0);
+    EXPECT_DOUBLE_EQ(responses[i].completed_at, static_cast<double>(i + 1) * 10.0);
   EXPECT_EQ(server->ops_completed(), 5u);
   EXPECT_FALSE(server->busy());
 }

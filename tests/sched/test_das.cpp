@@ -34,7 +34,7 @@ TEST(Das, SrptFirstOnTotalRemaining) {
 TEST(Das, TiesBreakByArrival) {
   auto s = make_das();
   for (OperationId i = 0; i < 8; ++i)
-    s.enqueue(OpBuilder{i}.request(i).total(77).build(), i * 1.0);
+    s.enqueue(OpBuilder{i}.request(i).total(77).build(), static_cast<double>(i));
   for (OperationId i = 0; i < 8; ++i) EXPECT_EQ(s.dequeue(10).op_id, i);
 }
 
@@ -228,8 +228,9 @@ TEST(Das, BacklogAndCountsStayConsistentUnderChurn) {
     }
     ASSERT_EQ(s.size(), expected_size);
     ASSERT_EQ(s.active_count() + s.deferred_count(), expected_size);
-    if (expected_size > 0)
+    if (expected_size > 0) {
       ASSERT_NEAR(s.backlog_demand_us(), expected_backlog, 1e-6);
+    }
   }
 }
 

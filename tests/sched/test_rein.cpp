@@ -37,7 +37,7 @@ TEST(Rein, SmallBottleneckJumpsAhead) {
 TEST(Rein, FcfsWithinLevel) {
   auto s = make_rein();
   for (OperationId i = 0; i < 10; ++i)
-    s.enqueue(OpBuilder{i}.bottleneck(2, 50).build(), i * 1.0);
+    s.enqueue(OpBuilder{i}.bottleneck(2, 50).build(), static_cast<double>(i));
   for (OperationId i = 0; i < 10; ++i) EXPECT_EQ(s.dequeue(20).op_id, i);
 }
 

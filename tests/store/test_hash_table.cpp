@@ -110,7 +110,9 @@ TEST(RobinHoodMap, FuzzAgainstStdUnorderedMap) {
         const int* found = map.find(key);
         const auto it = ref.find(key);
         ASSERT_EQ(found != nullptr, it != ref.end());
-        if (found) ASSERT_EQ(*found, it->second);
+        if (found) {
+          ASSERT_EQ(*found, it->second);
+        }
         break;
       }
       case 3: {  // erase

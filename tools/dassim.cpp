@@ -68,6 +68,8 @@ int main(int argc, char** argv) {
   flags.define("warmup-ms", "30", "warmup window (ms, excluded from metrics)");
   flags.define("measure-ms", "200", "measurement window (ms)");
   flags.define("seed", "42", "simulation seed");
+  flags.define("audit-every", "0",
+               "run the invariant audit every N dispatched events (0 = off)");
   flags.define("format", "table", "output: table | csv");
   flags.define("help", "false", "show this help");
 
@@ -121,6 +123,7 @@ int main(int argc, char** argv) {
   cfg.preemptive_service = flags.get_bool("preemptive");
   cfg.write_fraction = flags.get_double("write-fraction");
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.audit_every_events = static_cast<std::uint64_t>(flags.get_int("audit-every"));
   const double straggler_fraction = flags.get_double("stragglers");
   if (straggler_fraction > 0) {
     cfg.server_speed_factors.assign(cfg.num_servers, 1.0);
