@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <set>
 
@@ -44,25 +45,80 @@ Collector& Collector::instance() {
   return collector;
 }
 
+namespace {
+
+std::string memo_key(const std::string& experiment, const std::string& point,
+                     sched::Policy policy) {
+  return experiment + '|' + point + '|' + sched::to_string(policy);
+}
+
+}  // namespace
+
+const core::ExperimentResult* Collector::insert_locked(const std::string& key,
+                                                       Row row) {
+  // Caller holds mutex_. Keeps first-computed order; duplicate keys keep the
+  // original row (results for the same coordinates are identical anyway).
+  const auto [it, inserted] = index_.emplace(key, rows_.size());
+  if (inserted) rows_.push_back(std::move(row));
+  return &rows_[it->second].result;
+}
+
 const core::ExperimentResult& Collector::run(const std::string& experiment,
                                              const std::string& point,
                                              sched::Policy policy,
                                              const core::ClusterConfig& cfg,
                                              const core::RunWindow& window) {
-  const std::string key = experiment + '|' + point + '|' + sched::to_string(policy);
-  const auto it = index_.find(key);
-  if (it != index_.end()) return rows_[it->second].result;
+  const std::string key = memo_key(experiment, point, policy);
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const auto it = index_.find(key);
+    if (it != index_.end()) return rows_[it->second].result;
+  }
 
+  // Simulate outside the lock so concurrent cache misses for different
+  // points do not serialize; a racing duplicate of the SAME point computes
+  // an identical result and insert_locked keeps whichever landed first.
   core::ClusterConfig run_cfg = cfg;
   run_cfg.policy = policy;
   Row row;
   row.experiment = experiment;
   row.point = point;
   row.policy = policy;
+  row.seed = run_cfg.seed;
   row.result = core::run_experiment(run_cfg, window);
-  index_.emplace(key, rows_.size());
-  rows_.push_back(std::move(row));
-  return rows_.back().result;
+
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return *insert_locked(key, std::move(row));
+}
+
+void Collector::insert(const std::string& experiment, const std::string& point,
+                       sched::Policy policy, std::uint64_t seed,
+                       const core::ExperimentResult& result) {
+  Row row;
+  row.experiment = experiment;
+  row.point = point;
+  row.policy = policy;
+  row.seed = seed;
+  row.result = result;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  insert_locked(memo_key(experiment, point, policy), std::move(row));
+}
+
+std::vector<core::SweepOutcome> Collector::outcomes(
+    const std::string& experiment) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<core::SweepOutcome> out;
+  for (const Row& row : rows_) {
+    if (row.experiment != experiment) continue;
+    core::SweepOutcome o;
+    o.experiment = row.experiment;
+    o.point = row.point;
+    o.policy = row.policy;
+    o.seed = row.seed;
+    o.result = row.result;
+    out.push_back(std::move(o));
+  }
+  return out;
 }
 
 double Collector::metric_value(const core::ExperimentResult& r,
@@ -83,6 +139,7 @@ double Collector::metric_value(const core::ExperimentResult& r,
 
 void Collector::print_table(std::ostream& os, const std::string& experiment,
                             const std::string& metric) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
   // Column order: policies in first-seen order; rows: points in first-seen
   // order. Adds a "DAS vs FCFS" gain column when both are present.
   std::vector<std::string> points;
@@ -140,10 +197,30 @@ void Collector::print_table(std::ostream& os, const std::string& experiment,
   os << '\n';
 }
 
+namespace {
+
+std::vector<core::SweepPoint>& mutable_registered_points() {
+  static std::vector<core::SweepPoint> points;
+  return points;
+}
+
+}  // namespace
+
+const std::vector<core::SweepPoint>& registered_points() {
+  return mutable_registered_points();
+}
+
 void register_point(const std::string& experiment, const std::string& point,
                     const core::ClusterConfig& cfg, const core::RunWindow& window,
                     const std::vector<sched::Policy>& policies) {
   for (const sched::Policy policy : policies) {
+    core::SweepPoint sweep_point;
+    sweep_point.experiment = experiment;
+    sweep_point.point = point;
+    sweep_point.policy = policy;
+    sweep_point.config = cfg;
+    sweep_point.window = window;
+    mutable_registered_points().push_back(std::move(sweep_point));
     const std::string name =
         experiment + "/" + point + "/" + sched::to_string(policy);
     benchmark::RegisterBenchmark(
@@ -169,15 +246,62 @@ void register_point(const std::string& experiment, const std::string& point,
   }
 }
 
+namespace {
+
+/// Strips one "--name=value" argument from argv; returns the value of the
+/// last occurrence, or `fallback` when absent.
+std::string strip_arg(int& argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  std::string value = fallback;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return value;
+}
+
+}  // namespace
+
 int bench_main(int argc, char** argv, const std::string& experiment,
                const std::vector<std::pair<std::string, std::string>>& metrics) {
+  const std::string jobs_arg = strip_arg(argc, argv, "das_jobs", "1");
+  const std::string json_arg =
+      strip_arg(argc, argv, "das_json", "BENCH_" + experiment + ".json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  const long jobs_flag = std::strtol(jobs_arg.c_str(), nullptr, 10);
+  const std::size_t jobs = jobs_flag <= 0 ? core::SweepRunner::default_jobs()
+                                          : static_cast<std::size_t>(jobs_flag);
+  if (jobs > 1) {
+    // Pre-compute the whole registered grid in parallel; the benchmark
+    // entries below then run against the warm memo cache. Merging in
+    // registration order keeps rows (and so tables and JSON) bit-identical
+    // to the serial path.
+    core::SweepRunner runner;
+    for (const core::SweepPoint& p : registered_points()) runner.add(p);
+    for (const core::SweepOutcome& o : runner.run(jobs))
+      Collector::instance().insert(o.experiment, o.point, o.policy, o.seed,
+                                   o.result);
+  }
+
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   for (const auto& [heading, metric] : metrics) {
     std::cout << "\n### " << heading << "\n\n";
     Collector::instance().print_table(std::cout, experiment, metric);
+  }
+  if (json_arg != "off" && !json_arg.empty()) {
+    core::write_bench_json(json_arg, experiment,
+                           Collector::instance().outcomes(experiment));
+    std::cout << "wrote " << json_arg << "\n";
   }
   return 0;
 }

@@ -6,15 +6,27 @@
 // paper-style comparison table assembled from the collected results.
 // Results are memoized per (experiment, point, policy) so the FCFS baseline
 // used for "vs FCFS" columns is simulated exactly once per point.
+//
+// Two das-specific arguments are stripped before google-benchmark sees argv:
+//   --das_jobs=N    pre-compute every registered point across N threads via
+//                   core::SweepRunner (0 = hardware concurrency); the
+//                   benchmark entries then hit the memo cache. Results are
+//                   bit-identical to the serial path.
+//   --das_json=P    where to write the structured results
+//                   (BENCH_<experiment>.json by default; "off" disables).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/bench_json.hpp"
+#include "core/sweep.hpp"
 #include "das.hpp"
 
 namespace dasbench {
@@ -35,20 +47,30 @@ struct Row {
   std::string experiment;
   std::string point;  // sweep coordinate, e.g. "load=0.7"
   das::sched::Policy policy{};
+  std::uint64_t seed = 0;
   das::core::ExperimentResult result;
 };
 
-/// Process-wide result collector + memo cache.
+/// Process-wide result collector + memo cache. Thread-safe: the --das_jobs
+/// sweep path inserts results from worker threads.
 class Collector {
  public:
   static Collector& instance();
 
   /// Runs (or returns the cached) experiment for the given coordinates.
+  /// Returned references stay valid for the process lifetime (rows live in
+  /// a deque; nothing is ever erased).
   const das::core::ExperimentResult& run(const std::string& experiment,
                                          const std::string& point,
                                          das::sched::Policy policy,
                                          const das::core::ClusterConfig& cfg,
                                          const das::core::RunWindow& window);
+
+  /// Seeds the memo cache with an already-computed result (no-op when the
+  /// key is present). The SweepRunner pre-warm path lands here.
+  void insert(const std::string& experiment, const std::string& point,
+              das::sched::Policy policy, std::uint64_t seed,
+              const das::core::ExperimentResult& result);
 
   /// Prints one paper-style table per metric column requested.
   /// `metric` selects the cell value; "gain" columns are relative to the
@@ -56,15 +78,24 @@ class Collector {
   void print_table(std::ostream& os, const std::string& experiment,
                    const std::string& metric) const;
 
-  const std::vector<Row>& rows() const { return rows_; }
+  /// Rows of one experiment, in first-computed order, as JSON-emitter input.
+  std::vector<das::core::SweepOutcome> outcomes(const std::string& experiment) const;
+
+  const std::deque<Row>& rows() const { return rows_; }
 
  private:
   double metric_value(const das::core::ExperimentResult& r,
                       const std::string& metric) const;
+  const das::core::ExperimentResult* insert_locked(const std::string& key, Row row);
 
+  mutable std::mutex mutex_;
   std::map<std::string, std::size_t> index_;  // key -> rows_ position
-  std::vector<Row> rows_;
+  std::deque<Row> rows_;                      // deque: stable references
 };
+
+/// Every point handed to register_point, in registration order — the grid
+/// the --das_jobs sweep pre-computes.
+const std::vector<das::core::SweepPoint>& registered_points();
 
 /// Registers one google-benchmark per policy for a single sweep point. Each
 /// registered benchmark simulates (memoized) and exports mean/p99 RCT and

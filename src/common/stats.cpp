@@ -69,6 +69,12 @@ double LogHistogram::bucket_mid(std::size_t b) const {
 }
 
 void LogHistogram::add(double value) {
+  // NaN fails every comparison, so bucket_for's `!(value > lo_)` clamp would
+  // silently file it (and any negative sample) into bucket 0, corrupting all
+  // quantiles downstream. A non-finite or negative latency is always an
+  // upstream bug — fail loudly instead of absorbing it.
+  DAS_CHECK_MSG(std::isfinite(value) && value >= 0.0,
+                "histogram sample must be finite and non-negative");
   if (value > hi_) ++overflow_;
   ++counts_[bucket_for(value)];
   ++total_;
@@ -107,8 +113,11 @@ double LogHistogram::quantile(double q) const {
 LatencyRecorder::LatencyRecorder(double hi) : hist_(1e-1, hi, 1.01) {}
 
 void LatencyRecorder::add(double value) {
-  stats_.add(value);
+  // Histogram first: it rejects non-finite/negative samples, and adding to
+  // the moments before that check would leave the two accumulators with
+  // different counts after the throw.
   hist_.add(value);
+  stats_.add(value);
 }
 
 void LatencyRecorder::merge(const LatencyRecorder& other) {

@@ -41,7 +41,9 @@ class StreamingStats {
 /// Buckets are geometric: value v lands in bucket floor(log(v/lo)/log(gamma)).
 /// With the default growth of 1% the quantile error is <= 0.5%. Values below
 /// `lo` clamp to bucket 0; values above `hi` clamp to the last bucket (and
-/// are counted so the clamp is observable).
+/// are counted so the clamp is observable). Non-finite or negative samples
+/// are rejected (DAS_CHECK): they indicate an upstream bug and would
+/// otherwise corrupt every quantile by landing silently in bucket 0.
 class LogHistogram {
  public:
   /// Range [lo, hi] in the caller's unit, growth factor per bucket (> 1).

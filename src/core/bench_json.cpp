@@ -1,0 +1,117 @@
+#include "core/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace das::core {
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // max_digits10 round-trips the exact double, so two emissions of the same
+  // deterministic result diff clean.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void render_bench_json(std::ostream& os, const std::string& experiment,
+                       const std::vector<SweepOutcome>& rows) {
+  // FCFS baselines per point label, for the gain columns.
+  const auto fcfs_mean = [&](const std::string& point) -> double {
+    for (const SweepOutcome& row : rows) {
+      if (row.experiment == experiment && row.point == point &&
+          row.policy == sched::Policy::kFcfs)
+        return row.result.rct.mean;
+    }
+    return 0.0;
+  };
+
+  os << "{\n  \"schema_version\": 1,\n  \"experiment\": ";
+  json_string(os, experiment);
+  os << ",\n  \"points\": [";
+  bool first = true;
+  for (const SweepOutcome& row : rows) {
+    if (row.experiment != experiment) continue;
+    os << (first ? "\n" : ",\n") << "    {\n      \"point\": ";
+    first = false;
+    json_string(os, row.point);
+    os << ",\n      \"policy\": ";
+    json_string(os, sched::to_string(row.policy));
+    const ExperimentResult& r = row.result;
+    os << ",\n      \"seed\": " << row.seed;
+    os << ",\n      \"requests_measured\": " << r.requests_measured;
+    const auto field = [&](const char* name, double v) {
+      os << ",\n      \"" << name << "\": ";
+      json_double(os, v);
+    };
+    field("mean_rct_us", r.rct.mean);
+    field("p50_us", r.rct.p50);
+    field("p95_us", r.rct.p95);
+    field("p99_us", r.rct.p99);
+    field("p999_us", r.rct.p999);
+    field("max_us", r.rct.max);
+    field("mean_util", r.mean_server_utilization);
+    field("max_util", r.max_server_utilization);
+    const double fcfs = fcfs_mean(row.point);
+    os << ",\n      \"gain_vs_fcfs_pct\": ";
+    if (fcfs > 0) {
+      json_double(os, 100.0 * (1.0 - r.rct.mean / fcfs));
+    } else {
+      os << "null";
+    }
+    field("wall_seconds", r.wall_seconds);
+    os << "\n    }";
+  }
+  os << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+std::string bench_json_string(const std::string& experiment,
+                              const std::vector<SweepOutcome>& rows) {
+  std::ostringstream os;
+  render_bench_json(os, experiment, rows);
+  return os.str();
+}
+
+void write_bench_json(const std::string& path, const std::string& experiment,
+                      const std::vector<SweepOutcome>& rows) {
+  std::ofstream out{path};
+  DAS_CHECK_MSG(out.good(), "cannot open JSON output file: " + path);
+  render_bench_json(out, experiment, rows);
+  out.flush();
+  DAS_CHECK_MSG(out.good(), "failed writing JSON output file: " + path);
+}
+
+}  // namespace das::core

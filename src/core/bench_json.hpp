@@ -1,0 +1,53 @@
+// Structured JSON results emitter.
+//
+// Every bench (and dassim --sweep) can persist its sweep as
+// BENCH_<experiment>.json so the perf trajectory is machine-readable instead
+// of living only in printed tables. Schema (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "experiment": "E1_load_mean",
+//     "points": [
+//       {
+//         "point": "load=0.7", "policy": "das", "seed": 20260705,
+//         "requests_measured": 57344,
+//         "mean_rct_us": ..., "p50_us": ..., "p95_us": ..., "p99_us": ...,
+//         "p999_us": ..., "max_us": ...,
+//         "mean_util": ..., "max_util": ...,
+//         "gain_vs_fcfs_pct": ...,   // null when the point has no FCFS row
+//         "wall_seconds": ...        // NOT deterministic; everything else is
+//       }, ...
+//     ]
+//   }
+//
+// Points appear in registration order; all fields except wall_seconds are
+// bit-reproducible for a fixed seed, so diffs of two emissions reveal real
+// behaviour changes. The writer is dependency-free and always emits valid
+// JSON (doubles are printed with round-trip precision; non-finite values,
+// which JSON cannot represent, become null).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace das::core {
+
+/// Renders the rows of one experiment as a JSON document (trailing newline
+/// included). Rows whose experiment label differs are skipped, so a mixed
+/// outcome list can be split into one file per experiment.
+void render_bench_json(std::ostream& os, const std::string& experiment,
+                       const std::vector<SweepOutcome>& rows);
+
+/// render_bench_json to a string.
+std::string bench_json_string(const std::string& experiment,
+                              const std::vector<SweepOutcome>& rows);
+
+/// Writes BENCH_<experiment>.json-style output to `path` (DAS_CHECK on I/O
+/// failure).
+void write_bench_json(const std::string& path, const std::string& experiment,
+                      const std::vector<SweepOutcome>& rows);
+
+}  // namespace das::core

@@ -1,0 +1,85 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace das::core {
+
+std::size_t SweepRunner::add(SweepPoint point) {
+  DAS_CHECK_MSG(!point.experiment.empty(), "sweep point needs an experiment label");
+  DAS_CHECK_MSG(!point.point.empty(), "sweep point needs a point label");
+  points_.push_back(std::move(point));
+  return points_.size() - 1;
+}
+
+std::size_t SweepRunner::add(std::string experiment, std::string point,
+                             sched::Policy policy, const ClusterConfig& config,
+                             const RunWindow& window) {
+  SweepPoint p;
+  p.experiment = std::move(experiment);
+  p.point = std::move(point);
+  p.policy = policy;
+  p.config = config;
+  p.window = window;
+  return add(std::move(p));
+}
+
+std::vector<SweepOutcome> SweepRunner::run(std::size_t jobs) const {
+  std::vector<SweepOutcome> outcomes(points_.size());
+  if (points_.empty()) return outcomes;
+
+  // Each slot is written by exactly one worker (the one that claimed the
+  // index) and read only after every worker joined, so outcomes/errors need
+  // no locking; `next` is the only shared mutable word.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(points_.size());
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points_.size()) return;
+      const SweepPoint& p = points_[i];
+      try {
+        ClusterConfig cfg = p.config;
+        cfg.policy = p.policy;
+        SweepOutcome out;
+        out.experiment = p.experiment;
+        out.point = p.point;
+        out.policy = p.policy;
+        out.seed = cfg.seed;
+        out.result = run_experiment(cfg, p.window);
+        outcomes[i] = std::move(out);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(std::min(jobs, points_.size()));
+    for (std::size_t t = 0; t < std::min(jobs, points_.size()); ++t)
+      pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic failure too: always the lowest-indexed failing point,
+  // independent of worker interleaving.
+  for (const std::exception_ptr& err : errors)
+    if (err) std::rethrow_exception(err);
+  return outcomes;
+}
+
+std::size_t SweepRunner::default_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace das::core

@@ -1,0 +1,70 @@
+// Parallel sweep execution.
+//
+// The evaluation is a grid of independent (config, policy, seed) experiment
+// points; running them serially on one core is what makes the full sweep too
+// slow for CI. A SweepRunner fans registered points out across a std::thread
+// pool while keeping results DETERMINISTIC: every point owns its whole
+// simulation (Cluster, Simulator, RNG streams — nothing mutable is shared;
+// the distribution objects in ClusterConfig are immutable), and outcomes are
+// merged back in registration order. A sweep at --jobs=N is therefore
+// bit-identical to the same sweep at --jobs=1, which the test suite and the
+// CI bench-smoke job both enforce.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+
+namespace das::core {
+
+/// One experiment point of a sweep grid. `experiment` and `point` are labels
+/// (table/JSON coordinates, e.g. "E1_load_mean" / "load=0.7"); the policy is
+/// applied onto `config` when the point runs.
+struct SweepPoint {
+  std::string experiment;
+  std::string point;
+  sched::Policy policy = sched::Policy::kFcfs;
+  ClusterConfig config;
+  RunWindow window;
+};
+
+/// A completed point: its coordinates plus the experiment result. `seed` is
+/// copied from the point's config so a JSON row can be re-run in isolation.
+struct SweepOutcome {
+  std::string experiment;
+  std::string point;
+  sched::Policy policy = sched::Policy::kFcfs;
+  std::uint64_t seed = 0;
+  ExperimentResult result;
+};
+
+class SweepRunner {
+ public:
+  /// Registers a point; returns its index. Outcomes are returned in
+  /// registration order regardless of which thread finishes first.
+  std::size_t add(SweepPoint point);
+  std::size_t add(std::string experiment, std::string point,
+                  sched::Policy policy, const ClusterConfig& config,
+                  const RunWindow& window);
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Runs every registered point across `jobs` worker threads (clamped to
+  /// [1, size()]; jobs <= 1 runs inline on the calling thread). Each worker
+  /// claims the next unclaimed index, so scheduling is dynamic but the merge
+  /// is positional. If any point throws, the exception from the
+  /// lowest-indexed failing point is rethrown after all workers join.
+  /// Callable repeatedly; each call re-runs the whole grid.
+  std::vector<SweepOutcome> run(std::size_t jobs) const;
+
+  /// The machine's hardware concurrency (>= 1), the natural --jobs default.
+  static std::size_t default_jobs();
+
+ private:
+  std::vector<SweepPoint> points_;
+};
+
+}  // namespace das::core

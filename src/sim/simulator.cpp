@@ -14,6 +14,9 @@ EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   queue_.emplace_back(t, next_seq_++, id, std::move(fn));
   std::push_heap(queue_.begin(), queue_.end());
   pending_ids_.insert(id);
+  // Growth can carry the queue across the compaction floor with a backlog of
+  // dead nodes accumulated while it was too small to bother compacting.
+  maybe_compact();
   return EventHandle{id};
 }
 
@@ -26,7 +29,20 @@ void Simulator::cancel(EventHandle h) {
   if (!h.valid()) return;
   // Erasing from pending_ids_ is the cancellation; the heap node is skipped
   // lazily at pop time. Cancelling fired/cancelled/foreign handles is a no-op.
-  pending_ids_.erase(h.id_);
+  if (pending_ids_.erase(h.id_) != 0) maybe_compact();
+}
+
+void Simulator::maybe_compact() {
+  if (!compaction_enabled_ || queue_.size() < kCompactionFloor) return;
+  const std::size_t dead = queue_.size() - pending_ids_.size();
+  if (dead * 2 <= queue_.size()) return;
+  std::erase_if(queue_, [this](const Node& node) {
+    return !pending_ids_.contains(node.id);
+  });
+  // Rebuilding cannot reorder dispatch: (t, seq) is a total order, so the
+  // relative order of the surviving nodes is heap-shape-independent.
+  std::make_heap(queue_.begin(), queue_.end());
+  ++compactions_;
 }
 
 bool Simulator::pop_next(Node& out) {
@@ -35,6 +51,8 @@ bool Simulator::pop_next(Node& out) {
     Node node = std::move(queue_.back());
     queue_.pop_back();
     if (pending_ids_.erase(node.id) == 0) continue;  // was cancelled
+    // Popping a live node can tip the dead fraction past the threshold.
+    maybe_compact();
     out = std::move(node);
     return true;
   }
@@ -77,6 +95,13 @@ void Simulator::check_invariants() const {
   }
   DAS_AUDIT(live == pending_ids_.size(),
             "live-id index out of sync with the heap");
+  // Compaction runs after every cancel and pop, so dead nodes may exceed
+  // live ones only while the queue sits under the compaction floor.
+  if (compaction_enabled_) {
+    const std::size_t dead = queue_.size() - live;
+    DAS_AUDIT(queue_.size() < kCompactionFloor || dead <= live,
+              "dead heap nodes outnumber live ones despite compaction");
+  }
 }
 
 void Simulator::audit_now() const {
@@ -141,7 +166,11 @@ void PeriodicProcess::stop() {
 void PeriodicProcess::fire() {
   pending_ = EventHandle{};
   fn_();
-  if (running_) pending_ = sim_.schedule_after(period_, [this] { fire(); });
+  // The callback may have called stop() + start(), in which case start()
+  // already scheduled the next occurrence; rescheduling here as well would
+  // fork a second, orphaned event chain firing at twice the period.
+  if (running_ && !pending_.valid())
+    pending_ = sim_.schedule_after(period_, [this] { fire(); });
 }
 
 }  // namespace das::sim

@@ -4,7 +4,11 @@
 // dispatch in scheduling order (a monotone sequence number breaks ties), so
 // runs are fully deterministic. Cancellation is lazy: cancelled events stay
 // in the heap and are skipped at pop time, which keeps schedule/cancel O(log n)
-// without an indexed heap.
+// without an indexed heap. When dead (cancelled-but-still-queued) nodes come
+// to outnumber live ones the heap is compacted — rebuilt from the live nodes
+// only — so workloads that cancel almost every timer they set (hedging,
+// retransmission) keep the queue proportional to the live event count.
+// Compaction preserves the (t, seq) dispatch order exactly.
 #pragma once
 
 #include <cstdint>
@@ -63,6 +67,18 @@ class Simulator : public Auditable {
   std::size_t pending() const { return pending_ids_.size(); }
   std::uint64_t events_dispatched() const { return dispatched_; }
 
+  /// --- lazy-cancel heap compaction ------------------------------------------
+  /// Heap nodes including dead (cancelled, not yet reclaimed) ones; the gap
+  /// versus pending() is what compaction bounds.
+  std::size_t queued_nodes() const { return queue_.size(); }
+  /// Times the heap has been rebuilt from its live nodes.
+  std::uint64_t compactions() const { return compactions_; }
+  /// Disabling compaction restores pure lazy cancellation (tests use this to
+  /// show compaction is behaviour-preserving). Dispatch order is identical
+  /// either way.
+  void set_compaction_enabled(bool enabled) { compaction_enabled_ = enabled; }
+  bool compaction_enabled() const { return compaction_enabled_; }
+
   /// --- invariant auditing ---------------------------------------------------
   /// Registers a component to audit alongside the simulator itself. The
   /// pointer must outlive the simulator (the cluster owns both). Audits run
@@ -81,7 +97,9 @@ class Simulator : public Auditable {
   void audit_now() const;
 
   /// Simulator-local invariants: the heap is a heap, no live event is
-  /// scheduled in the past, and the live-id index matches the heap contents.
+  /// scheduled in the past, the live-id index matches the heap contents, and
+  /// (when compaction is enabled) dead nodes never outnumber live ones once
+  /// the queue is past the compaction floor.
   void check_invariants() const override;
 
  private:
@@ -100,6 +118,15 @@ class Simulator : public Auditable {
   /// Pops skipping cancelled events; returns false when drained.
   bool pop_next(Node& out);
 
+  /// Rebuilds the heap from its live nodes when dead ones outnumber them.
+  /// Called after every operation that can raise the dead fraction (cancel
+  /// and pop), so the dead <= live bound in check_invariants() always holds.
+  void maybe_compact();
+
+  /// Below this many heap nodes compaction never triggers: rebuilding a tiny
+  /// heap saves nothing and the invariant bound would be noisy.
+  static constexpr std::size_t kCompactionFloor = 64;
+
   // Binary heap managed with std::push_heap/std::pop_heap; a raw vector lets
   // us move the std::function out of the popped node. pending_ids_ holds the
   // ids of live (scheduled, not yet fired or cancelled) events: cancel()
@@ -113,6 +140,8 @@ class Simulator : public Auditable {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t compactions_ = 0;
+  bool compaction_enabled_ = true;
   std::vector<const Auditable*> auditables_;
   std::uint64_t audit_cadence_ = 0;
   mutable std::uint64_t audits_run_ = 0;
@@ -120,8 +149,9 @@ class Simulator : public Auditable {
 
 /// Repeats a callback with a fixed period until stopped. The callback runs
 /// at start + period, start + 2*period, ...; stop() cancels the pending
-/// occurrence and prevents future ones. Safe to stop from within the
-/// callback itself.
+/// occurrence and prevents future ones. Safe to stop — and to restart via
+/// stop() + start() — from within the callback itself; a restart owns the
+/// schedule (exactly one chain of events ever exists).
 class PeriodicProcess {
  public:
   PeriodicProcess(Simulator& sim, Duration period, std::function<void()> fn);

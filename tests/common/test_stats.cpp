@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -112,6 +113,32 @@ TEST(LogHistogram, AboveRangeClampsAndCounts) {
   h.add(1e9);
   EXPECT_EQ(h.overflow_count(), 1u);
   EXPECT_GT(h.quantile(0.5), 95.0);
+}
+
+TEST(LogHistogram, RejectsNonFiniteAndNegativeSamples) {
+  // Regression: NaN fails every comparison, so the `!(value > lo)` clamp in
+  // bucket_for silently filed NaN (and negatives) into bucket 0, corrupting
+  // every quantile downstream. These must throw instead.
+  LogHistogram h{1.0, 1e6, 1.01};
+  EXPECT_THROW(h.add(std::numeric_limits<double>::quiet_NaN()), std::logic_error);
+  EXPECT_THROW(h.add(std::numeric_limits<double>::infinity()), std::logic_error);
+  EXPECT_THROW(h.add(-std::numeric_limits<double>::infinity()), std::logic_error);
+  EXPECT_THROW(h.add(-1.0), std::logic_error);
+  EXPECT_EQ(h.count(), 0u);  // rejected samples leave no trace
+  h.add(0.0);  // zero is a legal (if degenerate) latency: clamps to bucket 0
+  h.add(5.0);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LatencyRecorder, RejectedSampleLeavesRecorderConsistent) {
+  LatencyRecorder rec;
+  rec.add(10.0);
+  EXPECT_THROW(rec.add(std::numeric_limits<double>::quiet_NaN()), std::logic_error);
+  EXPECT_THROW(rec.add(-5.0), std::logic_error);
+  // Histogram and moment accumulator must agree after the throw.
+  EXPECT_EQ(rec.moments().count(), 1u);
+  EXPECT_EQ(rec.histogram().count(), 1u);
+  EXPECT_DOUBLE_EQ(rec.summary().mean, 10.0);
 }
 
 TEST(LogHistogram, MergeMatchesCombined) {

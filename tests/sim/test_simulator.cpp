@@ -184,6 +184,110 @@ TEST(PeriodicProcess, DestructorCancelsPending) {
   EXPECT_TRUE(sim.empty());
 }
 
+TEST(PeriodicProcess, RestartFromCallbackKeepsOneChain) {
+  // Regression: stop() + start() inside the callback used to leave BOTH the
+  // restart's event and fire()'s tail reschedule pending — two interleaved
+  // chains firing the callback at twice the period forever.
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicProcess proc{sim, 10.0, [&] {
+                         fires.push_back(sim.now());
+                         if (fires.size() == 2) {
+                           proc.stop();
+                           proc.start();
+                         }
+                       }};
+  proc.start();
+  sim.run_until(65.0);
+  proc.stop();
+  // One chain only: 10, 20 (restart), 30, 40, 50, 60 — period preserved.
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 20, 30, 40, 50, 60}));
+  sim.run();
+  EXPECT_EQ(fires.size(), 6u);
+}
+
+TEST(PeriodicProcess, RestartFromCallbackLeavesNoOrphanEvents) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess proc{sim, 5.0, [&] {
+                         ++count;
+                         proc.stop();
+                         proc.start();
+                       }};
+  proc.start();
+  sim.run_until(50.0);
+  proc.stop();
+  EXPECT_EQ(count, 10);
+  EXPECT_TRUE(sim.empty());  // no orphaned chain left behind
+}
+
+TEST(Simulator, HeavyCancelTriggersCompaction) {
+  // Regression: cancelled nodes used to stay in the heap until popped, so a
+  // cancel-almost-everything workload (hedge/retransmit timers) grew the
+  // queue without bound and paid O(log dead) per pop.
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 20000; ++i)
+    handles.push_back(sim.schedule_at(i, [] {}));
+  for (int i = 0; i < 20000; ++i)
+    if (i % 100 != 0) sim.cancel(handles[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(sim.pending(), 200u);
+  // Dead nodes never outnumber live ones (up to the compaction floor).
+  EXPECT_LE(sim.queued_nodes(), 2 * sim.pending() + 64);
+  EXPECT_GT(sim.compactions(), 0u);
+  sim.audit_now();  // dead-fraction invariant holds
+  std::vector<SimTime> fired;
+  while (sim.step()) fired.push_back(sim.now());
+  ASSERT_EQ(fired.size(), 200u);
+  for (std::size_t i = 0; i < fired.size(); ++i)
+    EXPECT_DOUBLE_EQ(fired[i], static_cast<double>(100 * i));
+}
+
+TEST(Simulator, CompactionDisabledKeepsLazyBehaviour) {
+  Simulator sim;
+  sim.set_compaction_enabled(false);
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i)
+    handles.push_back(sim.schedule_at(i, [] {}));
+  for (int i = 0; i < 999; ++i)
+    sim.cancel(handles[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(sim.compactions(), 0u);
+  EXPECT_EQ(sim.queued_nodes(), 1000u);  // dead nodes reclaimed only at pop
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.audit_now();  // the dead-fraction bound is waived when disabled
+  int fired = 0;
+  sim.run();
+  fired = static_cast<int>(sim.events_dispatched());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CompactionPreservesInterleavedDispatchOrder) {
+  // Same schedule/cancel sequence with and without compaction must fire the
+  // surviving callbacks in the same order at the same times.
+  const auto drive = [](bool compaction) {
+    Simulator sim;
+    sim.set_compaction_enabled(compaction);
+    Rng rng{7};
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 5000; ++i) {
+      handles.push_back(
+          sim.schedule_at(rng.uniform(0, 1e5), [&order, i] { order.push_back(i); }));
+      if (i % 3 != 0) sim.cancel(handles.back());
+      // Also cancel a random earlier event to mix live/dead heap positions.
+      if (i % 7 == 0)
+        sim.cancel(handles[static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(i) + 1))]);
+    }
+    sim.run();
+    return order;
+  };
+  const auto with = drive(true);
+  const auto without = drive(false);
+  EXPECT_FALSE(with.empty());
+  EXPECT_EQ(with, without);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   SimTime last = -1;

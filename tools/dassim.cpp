@@ -3,16 +3,22 @@
 //   ./build/tools/dassim --policy=das --load=0.8 --servers=64
 //   ./build/tools/dassim --policy=all --fanout=bimodal:2:32:0.2 --format=csv
 //   ./build/tools/dassim --policy=das,fcfs --stragglers=0.25 --straggler-speed=0.5
+//   ./build/tools/dassim --sweep --jobs=4 --json=BENCH_sweep.json
 //
 // Prints one row per policy; --format=csv emits machine-readable output for
-// plotting scripts.
+// plotting scripts. --sweep runs a (load grid x policy) sweep across a
+// thread pool (--jobs) with bit-identical-to-serial results and can persist
+// them as BENCH_<experiment>.json (--json).
+#include <chrono>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
+#include "core/bench_json.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "workload/spec.hpp"
 
 namespace {
@@ -27,6 +33,97 @@ std::vector<sched::Policy> parse_policies(const std::string& spec) {
   while (std::getline(is, name, ',')) out.push_back(sched::policy_from_string(name));
   DAS_CHECK_MSG(!out.empty(), "no policies given");
   return out;
+}
+
+std::vector<double> parse_loads(const std::string& spec) {
+  std::vector<double> out;
+  std::istringstream is{spec};
+  std::string token;
+  while (std::getline(is, token, ',')) out.push_back(std::stod(token));
+  DAS_CHECK_MSG(!out.empty(), "no sweep loads given");
+  return out;
+}
+
+/// --sweep: the (load x policy) grid, fanned out over a thread pool. All
+/// stdout output is deterministic (bit-identical across --jobs values); the
+/// wall-clock line goes to stderr.
+int run_sweep(const core::ClusterConfig& base, const core::RunWindow& window,
+              const std::vector<sched::Policy>& policies, const Flags& flags) {
+  const std::string experiment = flags.get_string("experiment");
+  const auto loads = parse_loads(flags.get_string("sweep-loads"));
+  const auto jobs_flag = flags.get_int("jobs");
+  const std::size_t jobs = jobs_flag <= 0 ? core::SweepRunner::default_jobs()
+                                          : static_cast<std::size_t>(jobs_flag);
+
+  core::SweepRunner runner;
+  for (const double load : loads) {
+    core::ClusterConfig cfg = base;
+    cfg.target_load = load;
+    const std::string point = "load=" + Table::fmt(load, 2);
+    for (const sched::Policy policy : policies)
+      runner.add(experiment, point, policy, cfg, window);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<core::SweepOutcome> outcomes = runner.run(jobs);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  std::cerr << "sweep: " << outcomes.size() << " points, jobs=" << jobs << ", "
+            << wall_seconds << " s\n";
+
+  const auto find_mean = [&](const std::string& point,
+                             sched::Policy policy) -> double {
+    for (const auto& o : outcomes)
+      if (o.point == point && o.policy == policy) return o.result.rct.mean;
+    return 0.0;
+  };
+
+  const std::string format = flags.get_string("format");
+  if (format == "csv") {
+    std::cout << "experiment,point,policy,requests,mean_rct_us,p50_us,p95_us,"
+                 "p99_us,p999_us,mean_util,max_util,net_msgs,progress_msgs\n";
+    for (const auto& o : outcomes) {
+      const auto& r = o.result;
+      std::cout << o.experiment << ',' << o.point << ','
+                << sched::to_string(o.policy) << ',' << r.requests_measured
+                << ',' << r.rct.mean << ',' << r.rct.p50 << ',' << r.rct.p95
+                << ',' << r.rct.p99 << ',' << r.rct.p999 << ','
+                << r.mean_server_utilization << ',' << r.max_server_utilization
+                << ',' << r.net_messages << ',' << r.progress_messages << '\n';
+    }
+  } else if (format == "table") {
+    std::vector<std::string> headers{"point"};
+    for (const sched::Policy p : policies) headers.push_back(sched::to_string(p));
+    const bool gains = policies.size() > 1 &&
+                       policies.front() == sched::Policy::kFcfs;
+    if (gains) headers.push_back("last vs fcfs");
+    Table table{headers};
+    for (const double load : loads) {
+      const std::string point = "load=" + Table::fmt(load, 2);
+      std::vector<std::string> cells{point};
+      for (const sched::Policy p : policies)
+        cells.push_back(Table::fmt(find_mean(point, p), 1));
+      if (gains) {
+        const double fcfs = find_mean(point, sched::Policy::kFcfs);
+        const double last = find_mean(point, policies.back());
+        cells.push_back(fcfs > 0 ? Table::fmt_percent(1.0 - last / fcfs) : "-");
+      }
+      table.add_row(std::move(cells));
+    }
+    std::cout << "== " << experiment << " — mean RCT (us) ==\n";
+    table.print(std::cout);
+  } else {
+    std::cerr << "unknown --format: " << format << "\n";
+    return 2;
+  }
+
+  const std::string json_path = flags.get_string("json");
+  if (!json_path.empty()) {
+    core::write_bench_json(json_path, experiment, outcomes);
+    std::cerr << "wrote " << json_path << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -71,6 +168,16 @@ int main(int argc, char** argv) {
   flags.define("audit-every", "0",
                "run the invariant audit every N dispatched events (0 = off)");
   flags.define("format", "table", "output: table | csv");
+  flags.define("sweep", "false",
+               "run a (load grid x policy) sweep instead of a single point");
+  flags.define("jobs", "1",
+               "sweep worker threads (0 = hardware concurrency); results are "
+               "bit-identical to --jobs=1");
+  flags.define("sweep-loads", "0.3,0.5,0.6,0.7,0.8,0.9",
+               "comma-separated target loads of the sweep grid (the E1 grid)");
+  flags.define("experiment", "e1_load_mean", "sweep experiment label");
+  flags.define("json", "",
+               "write sweep results as BENCH-schema JSON to this path");
   flags.define("help", "false", "show this help");
 
   std::string error;
@@ -144,6 +251,15 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
+  }
+
+  if (flags.get_bool("sweep")) {
+    try {
+      return run_sweep(cfg, window, policies, flags);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
   }
 
   const auto runs = core::compare_policies(cfg, policies, window);
