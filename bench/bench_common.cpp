@@ -133,6 +133,12 @@ double Collector::metric_value(const core::ExperimentResult& r,
   if (metric == "max_util") return r.max_server_utilization;
   if (metric == "progress_msgs") return static_cast<double>(r.progress_messages);
   if (metric == "net_msgs") return static_cast<double>(r.net_messages);
+  if (metric == "ops_deferred") return static_cast<double>(r.ops_deferred);
+  if (metric == "ops_resumed") return static_cast<double>(r.ops_resumed);
+  if (metric == "ops_aged") return static_cast<double>(r.ops_aged);
+  if (metric == "reranks") return static_cast<double>(r.reranks_applied);
+  if (metric == "bd_deferred_wait") return r.breakdown.mean_deferred_wait_us;
+  if (metric == "bd_runnable_wait") return r.breakdown.mean_runnable_wait_us;
   DAS_CHECK_MSG(false, "unknown metric: " + metric);
   return 0;
 }

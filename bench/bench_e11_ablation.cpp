@@ -18,8 +18,14 @@ int main(int argc, char** argv) {
     dasbench::register_point("E11_ablation", "load=" + das::Table::fmt(load, 2), cfg,
                              window, policies);
   }
-  return dasbench::bench_main(argc, argv, "E11_ablation",
-                              {{"Ablations — mean RCT", "mean"},
-                               {"Ablations — p99 RCT", "p99"},
-                               {"Ablations — progress messages", "progress_msgs"}});
+  return dasbench::bench_main(
+      argc, argv, "E11_ablation",
+      {{"Ablations — mean RCT", "mean"},
+       {"Ablations — p99 RCT", "p99"},
+       {"Ablations — progress messages", "progress_msgs"},
+       {"Ablations — ops deferred (LRPT-last activations)", "ops_deferred"},
+       {"Ablations — ops aged (starvation-bound activations)", "ops_aged"},
+       {"Ablations — reranks applied (progress re-keying)", "reranks"},
+       {"Ablations — mean deferred wait (us, RCT breakdown)",
+        "bd_deferred_wait"}});
 }

@@ -59,7 +59,7 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
     return 0.0;
   };
 
-  os << "{\n  \"schema_version\": 1,\n  \"experiment\": ";
+  os << "{\n  \"schema_version\": 2,\n  \"experiment\": ";
   json_string(os, experiment);
   os << ",\n  \"points\": [";
   bool first = true;
@@ -85,6 +85,23 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
     field("max_us", r.rct.max);
     field("mean_util", r.mean_server_utilization);
     field("max_util", r.max_server_utilization);
+    os << ",\n      \"ops_deferred\": " << r.ops_deferred;
+    os << ",\n      \"ops_resumed\": " << r.ops_resumed;
+    os << ",\n      \"ops_aged\": " << r.ops_aged;
+    os << ",\n      \"reranks_applied\": " << r.reranks_applied;
+    os << ",\n      \"breakdown\": {\n        \"requests\": "
+       << r.breakdown.requests;
+    const auto bd_field = [&](const char* name, double v) {
+      os << ",\n        \"" << name << "\": ";
+      json_double(os, v);
+    };
+    bd_field("mean_rct_us", r.breakdown.mean_rct_us);
+    bd_field("network_us", r.breakdown.mean_network_us);
+    bd_field("runnable_wait_us", r.breakdown.mean_runnable_wait_us);
+    bd_field("deferred_wait_us", r.breakdown.mean_deferred_wait_us);
+    bd_field("service_us", r.breakdown.mean_service_us);
+    bd_field("straggler_slack_us", r.breakdown.mean_straggler_slack_us);
+    os << "\n      }";
     const double fcfs = fcfs_mean(row.point);
     os << ",\n      \"gain_vs_fcfs_pct\": ";
     if (fcfs > 0) {

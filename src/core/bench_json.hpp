@@ -2,10 +2,10 @@
 //
 // Every bench (and dassim --sweep) can persist its sweep as
 // BENCH_<experiment>.json so the perf trajectory is machine-readable instead
-// of living only in printed tables. Schema (schema_version 1):
+// of living only in printed tables. Schema (schema_version 2):
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "experiment": "E1_load_mean",
 //     "points": [
 //       {
@@ -14,11 +14,21 @@
 //         "mean_rct_us": ..., "p50_us": ..., "p95_us": ..., "p99_us": ...,
 //         "p999_us": ..., "max_us": ...,
 //         "mean_util": ..., "max_util": ...,
+//         "ops_deferred": ..., "ops_resumed": ..., "ops_aged": ...,
+//         "reranks_applied": ...,    // mechanism-activation counters
+//         "breakdown": {             // exact mean RCT decomposition
+//           "requests": ..., "mean_rct_us": ..., "network_us": ...,
+//           "runnable_wait_us": ..., "deferred_wait_us": ...,
+//           "service_us": ..., "straggler_slack_us": ...
+//         },
 //         "gain_vs_fcfs_pct": ...,   // null when the point has no FCFS row
 //         "wall_seconds": ...        // NOT deterministic; everything else is
 //       }, ...
 //     ]
 //   }
+//
+// schema_version history: 2 added the mechanism counters and the per-point
+// "breakdown" object (PR 3); 1 was the initial shape.
 //
 // Points appear in registration order; all fields except wall_seconds are
 // bit-reproducible for a fixed seed, so diffs of two emissions reveal real

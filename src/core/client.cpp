@@ -176,6 +176,10 @@ void Client::generate_request() {
   pending.last_sent_critical = critical_us;
   pending.last_sent_total = total_demand;
 
+  if (tracer_ != nullptr) {
+    tracer_->request_arrival(now, rid, params_.id, pending.ops.size());
+  }
+
   for (PendingOp& op : pending.ops) {
     // Deferral bound: the latest completion estimate among siblings on
     // servers other than this op's.
@@ -204,6 +208,10 @@ void Client::generate_request() {
     op.sent_ctx = ctx;
     send_op_(op.server, ctx);
     ++ops_generated_;
+    if (tracer_ != nullptr) {
+      tracer_->op_send(now, op.op_id, rid, params_.id, op.server, op.demand_us,
+                       /*resend=*/false);
+    }
   }
   auto [it, inserted] = pending_.emplace(rid, std::move(pending));
   DAS_CHECK(inserted);
@@ -244,6 +252,10 @@ void Client::arm_hedge(RequestId rid, PendingOp& op) {
     it->hedged = true;
     ++ops_hedged_;
     send_op_(alternate, it->sent_ctx);
+    if (tracer_ != nullptr) {
+      tracer_->op_send(sim_.now(), op_id, rid, params_.id, alternate,
+                       it->demand_us, /*resend=*/true);
+    }
   });
 }
 
@@ -264,6 +276,10 @@ void Client::arm_retry(RequestId rid, PendingOp& op) {
     ++it->attempts;
     ++ops_retransmitted_;
     send_op_(it->server, it->sent_ctx);
+    if (tracer_ != nullptr) {
+      tracer_->op_send(sim_.now(), op_id, rid, params_.id, it->server,
+                       it->demand_us, /*resend=*/true);
+    }
     arm_retry(rid, *it);
   });
 }
@@ -300,13 +316,32 @@ void Client::on_response(const OpResponse& resp) {
   DAS_CHECK(pop != req.ops.end());
   DAS_CHECK_MSG(!pop->done, "duplicate response");
   pop->done = true;
+  pop->delivered_at = now;
+  pop->timing = resp.timing;
   sim_.cancel(pop->retry_timer);
   sim_.cancel(pop->hedge_timer);
   DAS_CHECK(req.remaining > 0);
   --req.remaining;
+  if (tracer_ != nullptr) {
+    tracer_->response(now, resp.op_id, rid, params_.id, resp.server);
+  }
 
   if (req.remaining == 0) {
     metrics_.record_request(req.arrival, now, req.ops.size());
+    if (tracer_ != nullptr) {
+      tracer_->request_complete(now, rid, params_.id, now - req.arrival);
+    }
+    // The critical op is the one whose response completed the request; its
+    // siblings' idle tails since delivery form the straggler slack.
+    if (breakdown_ != nullptr && pop->timing.valid) {
+      double slack_sum = 0;
+      for (const PendingOp& op : req.ops) {
+        if (op.op_id == pop->op_id) continue;
+        slack_sum += now - op.delivered_at;
+      }
+      breakdown_->record(trace::make_request_breakdown(
+          req.arrival, now, pop->timing, slack_sum, req.ops.size()));
+    }
     pending_.erase(req_it);
     ++requests_completed_;
     return;

@@ -20,6 +20,8 @@
 #include "sched/op_context.hpp"
 #include "sim/simulator.hpp"
 #include "store/partitioner.hpp"
+#include "trace/rct_breakdown.hpp"
+#include "trace/tracer.hpp"
 #include "workload/arrival.hpp"
 #include "workload/multiget.hpp"
 
@@ -99,6 +101,13 @@ class Client {
   double delay_estimate(ServerId s) const { return d_est_[s]; }
   double speed_estimate(ServerId s) const { return mu_est_[s]; }
 
+  /// Attaches a lifecycle tracer (nullptr detaches). Purely observational.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  /// Attaches the per-request RCT-breakdown sink (nullptr detaches).
+  void set_breakdown_collector(trace::BreakdownCollector* collector) {
+    breakdown_ = collector;
+  }
+
  private:
   struct PendingOp {
     OperationId op_id = 0;
@@ -112,6 +121,10 @@ class Client {
     sim::EventHandle hedge_timer;
     std::uint32_t attempts = 1;
     bool hedged = false;
+    /// When the (first) response was delivered; feeds straggler slack.
+    SimTime delivered_at = 0;
+    /// Server-side timing echo from that response.
+    trace::OpServiceTiming timing;
   };
   struct PendingRequest {
     SimTime arrival = 0;
@@ -141,6 +154,8 @@ class Client {
   Metrics& metrics_;
   SendOp send_op_;
   SendProgress send_progress_;
+  trace::Tracer* tracer_ = nullptr;
+  trace::BreakdownCollector* breakdown_ = nullptr;
 
   std::vector<double> d_est_;
   std::vector<double> mu_est_;

@@ -29,8 +29,8 @@ bool policy_uses_progress(sched::Policy policy) {
 
 }  // namespace
 
-Cluster::Cluster(ClusterConfig config, RunWindow window)
-    : config_(std::move(config)), window_(window) {
+Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
+    : config_(std::move(config)), window_(window), tracer_(tracer) {
   DAS_CHECK(config_.num_servers >= 1);
   DAS_CHECK(config_.num_clients >= 1);
   DAS_CHECK(config_.keys_per_server >= 1);
@@ -93,6 +93,7 @@ Cluster::Cluster(ClusterConfig config, RunWindow window)
 
     auto server = std::make_unique<Server>(sim_, params, std::move(scheduler), metrics_);
     server->set_utilization_window(window_.warmup_us, window_.horizon());
+    if (tracer_ != nullptr) server->set_tracer(tracer_);
     servers_.push_back(std::move(server));
   }
 
@@ -178,7 +179,13 @@ Cluster::Cluster(ClusterConfig config, RunWindow window)
         sim_, params, master.fork(0xC11E47 + c), *generator_, std::move(arrivals),
         *partitioner_, key_sizes_, metrics_, std::move(send_op),
         std::move(send_progress)));
+    if (tracer_ != nullptr) clients_.back()->set_tracer(tracer_);
+    clients_.back()->set_breakdown_collector(&breakdown_);
   }
+
+  // The breakdown uses the same measurement window as the metrics.
+  breakdown_.set_window(window_.warmup_us, window_.horizon());
+  breakdown_.set_retain_cap(config_.breakdown_retain_requests);
 }
 
 double Cluster::derived_request_rate() const {
@@ -275,7 +282,14 @@ ExperimentResult Cluster::run() {
     const double util = server->busy_time_in_window() / window_.measure_us;
     util_sum += util;
     result.max_server_utilization = std::max(result.max_server_utilization, util);
+    const sched::MechanismCounters counters =
+        server->scheduler().mechanism_counters();
+    result.ops_deferred += counters.ops_deferred;
+    result.ops_resumed += counters.ops_resumed;
+    result.ops_aged += counters.ops_aged;
+    result.reranks_applied += counters.reranks_applied;
   }
+  result.breakdown = breakdown_.summary();
   if (config_.msg_loss_probability == 0 && config_.retry_timeout_us == 0 &&
       config_.hedge_delay_us == 0) {
     // Exact conservation without faults. With retransmission enabled,

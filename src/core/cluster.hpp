@@ -28,7 +28,10 @@ struct RunWindow {
 
 class Cluster {
  public:
-  Cluster(ClusterConfig config, RunWindow window);
+  /// `tracer` (optional, caller-owned, must outlive the cluster) records the
+  /// full op lifecycle; null means zero tracing overhead.
+  Cluster(ClusterConfig config, RunWindow window,
+          trace::Tracer* tracer = nullptr);
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -47,6 +50,9 @@ class Cluster {
   std::size_t client_count() const { return clients_.size(); }
   const store::Partitioner& partitioner() const { return *partitioner_; }
   const std::vector<Bytes>& key_sizes() const { return key_sizes_; }
+  /// Per-request RCT decomposition (aggregate always; rows when
+  /// config.breakdown_retain_requests > 0).
+  const trace::BreakdownCollector& breakdown() const { return breakdown_; }
 
  private:
   /// Request arrival rate (requests/µs, all clients) per the calibration mode.
@@ -65,6 +71,8 @@ class Cluster {
   std::vector<Bytes> key_sizes_;
   std::unique_ptr<workload::MultigetGenerator> generator_;
   Metrics metrics_;
+  trace::Tracer* tracer_ = nullptr;
+  trace::BreakdownCollector breakdown_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::uint64_t progress_messages_ = 0;

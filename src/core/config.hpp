@@ -130,6 +130,10 @@ struct ClusterConfig {
   /// Collect a mean-RCT-per-bucket timeline (plotting adaptation
   /// transients); 0 disables.
   Duration timeline_bucket_us = 0;
+  /// Retain up to this many per-request RCT-breakdown rows (beyond the
+  /// always-on aggregate summary) for tests and offline analysis; 0 keeps
+  /// only the aggregate.
+  std::size_t breakdown_retain_requests = 0;
 
   /// Expected demand of one operation at nominal speed (µs).
   double mean_op_demand_us() const;

@@ -4,8 +4,9 @@
 
 namespace das::core {
 
-ExperimentResult run_experiment(const ClusterConfig& config, const RunWindow& window) {
-  Cluster cluster{config, window};
+ExperimentResult run_experiment(const ClusterConfig& config, const RunWindow& window,
+                                trace::Tracer* tracer) {
+  Cluster cluster{config, window, tracer};
   return cluster.run();
 }
 

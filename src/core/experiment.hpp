@@ -16,8 +16,11 @@
 namespace das::core {
 
 /// Builds a cluster from `config`, runs it, returns the aggregate result.
+/// A non-null `tracer` records the full op lifecycle (purely observational —
+/// the result is bit-identical with and without it).
 ExperimentResult run_experiment(const ClusterConfig& config,
-                                const RunWindow& window = {});
+                                const RunWindow& window = {},
+                                trace::Tracer* tracer = nullptr);
 
 struct PolicyRun {
   sched::Policy policy;

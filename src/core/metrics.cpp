@@ -24,10 +24,11 @@ void Metrics::record_request(SimTime arrival, SimTime completion, std::size_t fa
 std::vector<Metrics::TimelinePoint> Metrics::timeline() const {
   std::vector<TimelinePoint> points;
   for (std::size_t b = 0; b < timeline_buckets_.size(); ++b) {
-    const StreamingStats& stats = timeline_buckets_[b];
-    if (stats.count() == 0) continue;
+    const LatencyRecorder& rec = timeline_buckets_[b];
+    if (rec.moments().count() == 0) continue;
     points.emplace_back(static_cast<double>(b) * timeline_bucket_us_,
-                        stats.mean(), stats.count());
+                        rec.moments().mean(), rec.histogram().p99(),
+                        rec.moments().count());
   }
   return points;
 }

@@ -7,6 +7,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "trace/rct_breakdown.hpp"
 
 namespace das::core {
 
@@ -37,10 +38,12 @@ class Metrics {
 
   std::uint64_t requests_measured() const { return rct_.moments().count(); }
 
-  /// One point per non-empty bucket: (bucket start time, mean RCT, count).
+  /// One point per non-empty bucket: bucket start time, mean and p99 RCT
+  /// (p99 from the log-bucketed histogram, so ±0.5% relative), and count.
   struct TimelinePoint {
     SimTime bucket_start = 0;
     double mean_rct = 0;
+    double p99_rct = 0;
     std::size_t count = 0;
   };
   std::vector<TimelinePoint> timeline() const;
@@ -53,7 +56,7 @@ class Metrics {
   LatencyRecorder op_wait_{1e9};
   StreamingStats fanout_;
   Duration timeline_bucket_us_ = 0;
-  std::vector<StreamingStats> timeline_buckets_;
+  std::vector<LatencyRecorder> timeline_buckets_;
 };
 
 /// What an experiment returns: the paper's reported quantities plus the
@@ -76,6 +79,15 @@ struct ExperimentResult {
   std::uint64_t ops_retransmitted = 0;
   std::uint64_t duplicate_responses = 0;
   std::uint64_t ops_hedged = 0;
+  /// Mechanism-activation counters summed over servers (sched::
+  /// MechanismCounters); all zero for policies without the mechanism.
+  std::uint64_t ops_deferred = 0;
+  std::uint64_t ops_resumed = 0;
+  std::uint64_t ops_aged = 0;
+  std::uint64_t reranks_applied = 0;
+  /// Per-request RCT decomposition aggregated over the measurement window
+  /// (always collected; pure arithmetic on existing timestamps).
+  trace::BreakdownSummary breakdown;
   /// Mean RCT per completion-time bucket; empty unless the config enabled
   /// timeline collection.
   std::vector<Metrics::TimelinePoint> timeline;

@@ -68,6 +68,17 @@ void Server::check_invariants() const {
 void Server::receive_op(const sched::OpContext& op) {
   ++ops_received_;
   const SimTime now = sim_.now();
+  if (tracer_ != nullptr) {
+    tracer_->server_enqueue(now, op.op_id, op.request_id, params_.id);
+    // Sampled queue-state counters piggyback on arrivals: no extra simulator
+    // events, so tracing cannot perturb the event schedule.
+    if (ops_received_ % tracer_->counter_stride() == 0) {
+      tracer_->counter_sample(now, params_.id, scheduler_->backlog_demand_us(),
+                              mu_hat_,
+                              scheduler_->size() - scheduler_->deferred_size(),
+                              scheduler_->deferred_size());
+    }
+  }
   if (busy_ && params_.preemptive) {
     // Snapshot the in-service op's remaining demand and ask the policy.
     const double consumed = (now - current_started_) * current_speed_;
@@ -92,6 +103,10 @@ void Server::preempt_current() {
   current_op_.demand_us = std::max(current_op_.demand_us - consumed, 0.0);
   busy_ = false;
   ++preemptions_;
+  if (tracer_ != nullptr) {
+    tracer_->service_end(now, current_op_.op_id, current_op_.request_id,
+                         params_.id);
+  }
   // Preempt-resume: the remainder rejoins the queue and competes normally.
   scheduler_->enqueue(current_op_, now);
 }
@@ -117,6 +132,10 @@ void Server::maybe_start() {
   // processes are orders of magnitude longer than one service, so freezing
   // the rate for the op's duration is a faithful approximation.
   current_speed_ = current_speed(now);
+  if (tracer_ != nullptr) {
+    tracer_->service_start(now, current_op_.op_id, current_op_.request_id,
+                           params_.id, current_op_.demand_us);
+  }
   const double service = current_op_.demand_us / current_speed_;
   completion_event_ = sim_.schedule_after(service, [this] { complete_current(); });
 }
@@ -158,6 +177,19 @@ void Server::complete_current() {
   resp.completed_at = now;
   resp.d_hat_us = d_hat_us();
   resp.mu_hat = mu_hat_;
+  // Timing echo for the client-side RCT breakdown. Under preempt-resume the
+  // cut points describe the FINAL service slice (the remainder's re-enqueue
+  // and dispatch), so earlier slices fold into the "network" residual.
+  resp.timing.enqueued_at = current_op_.enqueued_at;
+  resp.timing.service_start = current_started_;
+  resp.timing.service_end = now;
+  resp.timing.deferred_us = current_op_.deferred_wait_us;
+  resp.timing.valid = true;
+
+  if (tracer_ != nullptr) {
+    tracer_->service_end(now, current_op_.op_id, current_op_.request_id,
+                         params_.id);
+  }
 
   busy_ = false;
   // Start the next op before responding: the response callback can inject

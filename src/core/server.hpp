@@ -12,6 +12,8 @@
 #include "sim/simulator.hpp"
 #include "store/log_engine.hpp"
 #include "store/storage_engine.hpp"
+#include "trace/rct_breakdown.hpp"
+#include "trace/tracer.hpp"
 #include "workload/rate_function.hpp"
 
 namespace das::core {
@@ -31,6 +33,10 @@ struct OpResponse {
   SimTime completed_at = 0;
   double d_hat_us = 0;
   double mu_hat = 1.0;
+  /// Server-side timing echo for the RCT breakdown. Out of band: carried on
+  /// the simulated message object but EXCLUDED from the wire-size model
+  /// (net/wire.hpp), so enabling the breakdown never changes net_bytes.
+  trace::OpServiceTiming timing;
 };
 
 class Server : public Auditable {
@@ -81,6 +87,13 @@ class Server : public Auditable {
   const sched::Scheduler& scheduler() const { return *scheduler_; }
   const store::KvStore& storage() const { return *storage_; }
 
+  /// Attaches a lifecycle tracer (nullptr detaches); forwarded to the
+  /// scheduler. Purely observational — never changes scheduling decisions.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    scheduler_->set_tracer(tracer, params_.id);
+  }
+
   /// Busy-time accounting clipped to [begin, end) for utilisation metrics.
   void set_utilization_window(SimTime begin, SimTime end);
   double busy_time_in_window() const { return busy_in_window_; }
@@ -108,6 +121,7 @@ class Server : public Auditable {
   Metrics& metrics_;
   std::unique_ptr<store::KvStore> storage_;
   std::function<void(const OpResponse&)> respond_;
+  trace::Tracer* tracer_ = nullptr;
 
   bool busy_ = false;
   sched::OpContext current_op_{};

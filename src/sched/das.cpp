@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "trace/tracer.hpp"
+
 namespace das::sched {
 
 DasScheduler::DasScheduler(Options options) : options_(options) {
@@ -98,18 +100,27 @@ void DasScheduler::place(Handle h, Record& rec, SimTime now) {
   rec.in_deferred = safe_to_defer(rec.op.est_other_completion, now);
   if (rec.in_deferred) {
     ++total_deferrals_;
+    rec.defer_started = now;
     deferred_.insert(OrderKey{rec.op.est_other_completion, h});
+    if (tracer_ != nullptr) {
+      tracer_->op_defer(now, rec.op.op_id, rec.op.request_id, tracer_server_,
+                        rec.op.est_other_completion);
+    }
   } else {
     active_.insert(OrderKey{active_key(rec.op), h});
   }
 }
 
-void DasScheduler::unlink(Handle h, const Record& rec) {
+void DasScheduler::unlink(Handle h, Record& rec, SimTime now) {
   auto& set = rec.in_deferred ? deferred_ : active_;
   const double key =
       rec.in_deferred ? rec.op.est_other_completion : active_key(rec.op);
   const auto erased = set.erase(OrderKey{key, h});
   DAS_CHECK_MSG(erased == 1, "DAS order-set desync");
+  if (rec.in_deferred) {
+    rec.op.deferred_wait_us += now - rec.defer_started;
+    rec.in_deferred = false;
+  }
 }
 
 void DasScheduler::enqueue(const OpContext& op, SimTime now) {
@@ -124,10 +135,10 @@ void DasScheduler::enqueue(const OpContext& op, SimTime now) {
   records_.emplace(h, std::move(rec));
 }
 
-OpContext DasScheduler::finish(Handle h) {
+OpContext DasScheduler::finish(Handle h, SimTime now) {
   auto it = records_.find(h);
   DAS_CHECK(it != records_.end());
-  unlink(h, it->second);
+  unlink(h, it->second, now);
   OpContext op = std::move(it->second.op);
   auto by_req = by_request_.find(op.request_id);
   if (by_req != by_request_.end()) {
@@ -150,8 +161,13 @@ void DasScheduler::migrate_due(SimTime now) {
     deferred_.erase(deferred_.begin());
     auto it = records_.find(front.h);
     DAS_CHECK(it != records_.end());
-    it->second.in_deferred = false;
-    active_.insert(OrderKey{active_key(it->second.op), front.h});
+    Record& rec = it->second;
+    rec.op.deferred_wait_us += now - rec.defer_started;
+    rec.in_deferred = false;
+    ++resumes_;
+    active_.insert(OrderKey{active_key(rec.op), front.h});
+    if (tracer_ != nullptr)
+      tracer_->op_resume(now, rec.op.op_id, rec.op.request_id, tracer_server_);
   }
 }
 
@@ -162,10 +178,15 @@ OpContext DasScheduler::dequeue(SimTime now) {
     while (!fifo_.empty() && !records_.contains(fifo_.front())) fifo_.pop_front();
     if (!fifo_.empty()) {
       const Handle h = fifo_.front();
-      if (now - records_.at(h).op.enqueued_at > options_.max_wait_us) {
+      const Record& oldest = records_.at(h);
+      if (now - oldest.op.enqueued_at > options_.max_wait_us) {
         fifo_.pop_front();
         ++aging_promotions_;
-        return finish(h);
+        if (tracer_ != nullptr) {
+          tracer_->aging_promotion(now, oldest.op.op_id, oldest.op.request_id,
+                                   tracer_server_, now - oldest.op.enqueued_at);
+        }
+        return finish(h, now);
       }
     }
   }
@@ -173,9 +194,9 @@ OpContext DasScheduler::dequeue(SimTime now) {
   migrate_due(now);
   // 3. SRPT-first on the runnable set; fall back to the deferred set so the
   // server never idles with work queued (work conservation).
-  if (!active_.empty()) return finish(active_.begin()->h);
+  if (!active_.empty()) return finish(active_.begin()->h, now);
   DAS_CHECK(!deferred_.empty());
-  return finish(deferred_.begin()->h);
+  return finish(deferred_.begin()->h, now);
 }
 
 void DasScheduler::on_request_progress(RequestId request, const ProgressUpdate& update,
@@ -192,11 +213,17 @@ void DasScheduler::on_request_progress(RequestId request, const ProgressUpdate& 
         rec.op.total_demand_us == update.remaining_total_us) {
       continue;
     }
-    unlink(h, rec);
+    const double old_key = active_key(rec.op);
+    unlink(h, rec, now);
     rec.op.remaining_critical_us = update.remaining_critical_us;
     rec.op.est_other_completion = update.est_other_completion;
     rec.op.total_demand_us = update.remaining_total_us;
     place(h, rec, now);
+    ++reranks_;
+    if (tracer_ != nullptr) {
+      tracer_->op_rerank(now, rec.op.op_id, rec.op.request_id, tracer_server_,
+                         old_key, active_key(rec.op));
+    }
   }
 }
 

@@ -91,6 +91,11 @@ class DasScheduler final : public SchedulerBase {
   std::uint64_t total_deferrals() const { return total_deferrals_; }
   std::uint64_t aging_promotions() const { return aging_promotions_; }
 
+  MechanismCounters mechanism_counters() const override {
+    return {total_deferrals_, resumes_, aging_promotions_, reranks_};
+  }
+  std::size_t deferred_size() const override { return deferred_.size(); }
+
  protected:
   void check_policy_invariants() const override;
 
@@ -110,6 +115,8 @@ class DasScheduler final : public SchedulerBase {
   struct Record {
     OpContext op;
     bool in_deferred = false;
+    /// When the current deferral episode began (valid while in_deferred).
+    SimTime defer_started = 0;
   };
 
   /// Estimated time to drain the entire current backlog at current speed.
@@ -117,8 +124,8 @@ class DasScheduler final : public SchedulerBase {
   double active_key(const OpContext& op) const;
   bool safe_to_defer(SimTime est_other_completion, SimTime now) const;
   void place(Handle h, Record& rec, SimTime now);
-  void unlink(Handle h, const Record& rec);
-  OpContext finish(Handle h);
+  void unlink(Handle h, Record& rec, SimTime now);
+  OpContext finish(Handle h, SimTime now);
   void migrate_due(SimTime now);
 
   Options options_;
@@ -131,7 +138,9 @@ class DasScheduler final : public SchedulerBase {
   std::unordered_map<RequestId, std::unordered_set<Handle>> by_request_;
   Handle next_handle_ = 0;
   std::uint64_t total_deferrals_ = 0;
+  std::uint64_t resumes_ = 0;
   std::uint64_t aging_promotions_ = 0;
+  std::uint64_t reranks_ = 0;
 };
 
 }  // namespace das::sched

@@ -61,6 +61,12 @@ struct OpContext {
 
   /// Set by the server when the op joins its queue.
   SimTime enqueued_at = 0;
+
+  /// Cumulative time spent parked in a deferred set, accumulated by the
+  /// scheduler. Instrumentation for the RCT breakdown
+  /// (trace/rct_breakdown.hpp), never a scheduling input, and — like
+  /// enqueued_at — server-local state that is not transmitted.
+  Duration deferred_wait_us = 0;
 };
 
 /// Client -> server progress notification: a sibling of `request` completed

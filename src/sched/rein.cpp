@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "trace/tracer.hpp"
+
 namespace das::sched {
 
 ReinSbfScheduler::ReinSbfScheduler(Options options) : options_(options) {
@@ -83,6 +85,11 @@ OpContext ReinSbfScheduler::dequeue(SimTime now) {
     const OpContext& oldest = levels_[front.level].at(front.handle);
     if (now - oldest.enqueued_at > options_.max_wait_us) {
       fifo_.pop_front();
+      ++aging_promotions_;
+      if (tracer_ != nullptr) {
+        tracer_->aging_promotion(now, oldest.op_id, oldest.request_id,
+                                 tracer_server_, now - oldest.enqueued_at);
+      }
       return take(front.level, front.arrival_seq, front.handle);
     }
   }

@@ -10,6 +10,7 @@
 // so the split tracks the workload without manual tuning.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -37,6 +38,10 @@ class ReinSbfScheduler final : public SchedulerBase {
   std::size_t level_for(double v) const;
   double current_threshold() const { return ewma_bottleneck_; }
 
+  MechanismCounters mechanism_counters() const override {
+    return {0, 0, aging_promotions_, 0};
+  }
+
  protected:
   void check_policy_invariants() const override;
 
@@ -59,6 +64,7 @@ class ReinSbfScheduler final : public SchedulerBase {
   std::uint64_t next_arrival_seq_ = 0;
   double ewma_bottleneck_ = 0;
   bool seeded_ = false;
+  std::uint64_t aging_promotions_ = 0;
 
   OpContext take(std::size_t level, std::uint64_t arrival_seq, Handle h);
 };

@@ -1,5 +1,7 @@
 #include "sched/req_srpt.hpp"
 
+#include "trace/tracer.hpp"
+
 namespace das::sched {
 
 void ReqSrptScheduler::check_policy_invariants() const {
@@ -57,15 +59,23 @@ bool ReqSrptScheduler::preempts(const OpContext& incoming,
 }
 
 void ReqSrptScheduler::on_request_progress(RequestId request,
-                                           const ProgressUpdate& update, SimTime) {
+                                           const ProgressUpdate& update,
+                                           SimTime now) {
   const auto it = by_request_.find(request);
   if (it == by_request_.end()) return;
   for (const Handle h : it->second) {
     auto key_it = key_of_.find(h);
     DAS_CHECK(key_it != key_of_.end());
     if (key_it->second == update.remaining_total_us) continue;
-    queue_.rekey(key_it->second, h, update.remaining_total_us);
+    const double old_key = key_it->second;
+    queue_.rekey(old_key, h, update.remaining_total_us);
     key_it->second = update.remaining_total_us;
+    ++reranks_;
+    if (tracer_ != nullptr) {
+      const OpContext& op = queue_.at(h);
+      tracer_->op_rerank(now, op.op_id, op.request_id, tracer_server_, old_key,
+                         update.remaining_total_us);
+    }
   }
 }
 

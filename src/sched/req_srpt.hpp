@@ -27,6 +27,10 @@ class ReqSrptScheduler final : public SchedulerBase {
   bool preempts(const OpContext& incoming, const OpContext& in_service) const override;
   std::string name() const override { return "req-srpt"; }
 
+  MechanismCounters mechanism_counters() const override {
+    return {0, 0, 0, reranks_};
+  }
+
  protected:
   void check_policy_invariants() const override;
 
@@ -40,6 +44,7 @@ class ReqSrptScheduler final : public SchedulerBase {
   std::unordered_map<Handle, double> key_of_;
   /// Handles queued here per request, for progress fan-in.
   std::unordered_map<RequestId, std::unordered_set<Handle>> by_request_;
+  std::uint64_t reranks_ = 0;
 
   void forget(const OpContext& op, Handle h);
 };

@@ -17,7 +17,21 @@
 #include "common/types.hpp"
 #include "sched/op_context.hpp"
 
+namespace das::trace {
+class Tracer;
+}  // namespace das::trace
+
 namespace das::sched {
+
+/// How often each scheduling mechanism actually fired over a scheduler's
+/// lifetime; policies report zero for mechanisms they do not implement.
+/// Summed over servers into ExperimentResult for the ablation study.
+struct MechanismCounters {
+  std::uint64_t ops_deferred = 0;     // LRPT-last parked an op (DAS)
+  std::uint64_t ops_resumed = 0;      // deferral window closed; op woke up
+  std::uint64_t ops_aged = 0;         // starvation bound served the oldest op
+  std::uint64_t reranks_applied = 0;  // progress message re-keyed a queued op
+};
 
 /// Schedulers are Auditable: check_invariants() verifies conservation
 /// (every enqueued op is still queued or was dequeued), nonnegative backlog
@@ -58,6 +72,25 @@ class Scheduler : public Auditable {
   virtual bool preempts(const OpContext& incoming, const OpContext& in_service) const;
 
   virtual std::string name() const = 0;
+
+  /// Lifetime mechanism-activation counters (zeros unless overridden).
+  virtual MechanismCounters mechanism_counters() const { return {}; }
+
+  /// Ops currently parked in a deferred set; 0 for policies without one.
+  /// size() always counts runnable + deferred together.
+  virtual std::size_t deferred_size() const { return 0; }
+
+  /// Attaches a lifecycle tracer (nullptr detaches). The scheduler emits
+  /// defer/resume/re-rank/aging events tagged with `server`. Purely
+  /// observational: attaching a tracer never changes scheduling decisions.
+  void set_tracer(trace::Tracer* tracer, ServerId server) {
+    tracer_ = tracer;
+    tracer_server_ = server;
+  }
+
+ protected:
+  trace::Tracer* tracer_ = nullptr;
+  ServerId tracer_server_ = kInvalidServer;
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;

@@ -1,0 +1,31 @@
+// Chrome trace-event JSON export (loads directly in Perfetto / chrome://tracing).
+//
+// Layout: one "process" per server (service slices on thread 0, scheduler
+// mechanism instants on thread 1, backlog/mu_hat/queue-depth counter tracks)
+// and one per client (async request-lifetime spans). Flow events stitch a
+// request's operations across processes: op send (client) -> server enqueue
+// -> response delivery (client), so the fan-out and the critical path are
+// visible as arrows.
+//
+// The writer is purely a function of the recorded event sequence and prints
+// doubles with round-trip precision, so two traced runs with the same seed
+// emit byte-identical files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace das::trace {
+
+/// Renders `{"traceEvents": [...], ...}` (trailing newline included).
+void render_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// render_chrome_trace to a string (determinism tests diff these).
+std::string chrome_trace_string(const Tracer& tracer);
+
+/// Writes the trace JSON to `path` (DAS_CHECK on I/O failure).
+void write_chrome_trace(const std::string& path, const Tracer& tracer);
+
+}  // namespace das::trace

@@ -1,0 +1,186 @@
+#include "trace/tracer.hpp"
+
+#include "common/check.hpp"
+
+namespace das::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRequestArrival: return "request_arrival";
+    case EventKind::kOpSend: return "op_send";
+    case EventKind::kServerEnqueue: return "server_enqueue";
+    case EventKind::kOpDefer: return "op_defer";
+    case EventKind::kOpResume: return "op_resume";
+    case EventKind::kOpRerank: return "op_rerank";
+    case EventKind::kAgingPromotion: return "aging_promotion";
+    case EventKind::kServiceStart: return "service_start";
+    case EventKind::kServiceEnd: return "service_end";
+    case EventKind::kResponse: return "response";
+    case EventKind::kRequestComplete: return "request_complete";
+    case EventKind::kCounterSample: return "counter_sample";
+  }
+  DAS_CHECK_MSG(false, "unknown trace event kind");
+  return "?";
+}
+
+Tracer::Tracer() : Tracer(Config{}) {}
+
+Tracer::Tracer(Config config) : config_(config) {
+  DAS_CHECK(config_.cap > 0);
+  DAS_CHECK(config_.counter_stride > 0);
+}
+
+void Tracer::record(const TraceEvent& event) {
+  if (events_.size() >= config_.cap) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void Tracer::request_arrival(SimTime t, RequestId request, ClientId client,
+                             std::size_t fanout) {
+  TraceEvent ev;
+  ev.kind = EventKind::kRequestArrival;
+  ev.t = t;
+  ev.request = request;
+  ev.client = client;
+  ev.a = static_cast<double>(fanout);
+  record(ev);
+}
+
+void Tracer::op_send(SimTime t, OperationId op, RequestId request,
+                     ClientId client, ServerId server, double demand_us,
+                     bool resend) {
+  TraceEvent ev;
+  ev.kind = EventKind::kOpSend;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.client = client;
+  ev.server = server;
+  ev.a = demand_us;
+  ev.b = resend ? 1 : 0;
+  record(ev);
+}
+
+void Tracer::server_enqueue(SimTime t, OperationId op, RequestId request,
+                            ServerId server) {
+  TraceEvent ev;
+  ev.kind = EventKind::kServerEnqueue;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.server = server;
+  record(ev);
+}
+
+void Tracer::op_defer(SimTime t, OperationId op, RequestId request,
+                      ServerId server, SimTime est_other_completion) {
+  TraceEvent ev;
+  ev.kind = EventKind::kOpDefer;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.server = server;
+  ev.a = est_other_completion;
+  record(ev);
+}
+
+void Tracer::op_resume(SimTime t, OperationId op, RequestId request,
+                       ServerId server) {
+  TraceEvent ev;
+  ev.kind = EventKind::kOpResume;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.server = server;
+  record(ev);
+}
+
+void Tracer::op_rerank(SimTime t, OperationId op, RequestId request,
+                       ServerId server, double old_key, double new_key) {
+  TraceEvent ev;
+  ev.kind = EventKind::kOpRerank;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.server = server;
+  ev.a = old_key;
+  ev.b = new_key;
+  record(ev);
+}
+
+void Tracer::aging_promotion(SimTime t, OperationId op, RequestId request,
+                             ServerId server, Duration waited_us) {
+  TraceEvent ev;
+  ev.kind = EventKind::kAgingPromotion;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.server = server;
+  ev.a = waited_us;
+  record(ev);
+}
+
+void Tracer::service_start(SimTime t, OperationId op, RequestId request,
+                           ServerId server, double demand_us) {
+  TraceEvent ev;
+  ev.kind = EventKind::kServiceStart;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.server = server;
+  ev.a = demand_us;
+  record(ev);
+}
+
+void Tracer::service_end(SimTime t, OperationId op, RequestId request,
+                         ServerId server) {
+  TraceEvent ev;
+  ev.kind = EventKind::kServiceEnd;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.server = server;
+  record(ev);
+}
+
+void Tracer::response(SimTime t, OperationId op, RequestId request,
+                      ClientId client, ServerId server) {
+  TraceEvent ev;
+  ev.kind = EventKind::kResponse;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.client = client;
+  ev.server = server;
+  record(ev);
+}
+
+void Tracer::request_complete(SimTime t, RequestId request, ClientId client,
+                              double rct_us) {
+  TraceEvent ev;
+  ev.kind = EventKind::kRequestComplete;
+  ev.t = t;
+  ev.request = request;
+  ev.client = client;
+  ev.a = rct_us;
+  record(ev);
+}
+
+void Tracer::counter_sample(SimTime t, ServerId server, double backlog_us,
+                            double mu_hat, std::size_t runnable,
+                            std::size_t deferred) {
+  TraceEvent ev;
+  ev.kind = EventKind::kCounterSample;
+  ev.t = t;
+  ev.server = server;
+  ev.a = backlog_us;
+  ev.b = mu_hat;
+  ev.c = static_cast<double>(runnable);
+  ev.d = static_cast<double>(deferred);
+  record(ev);
+}
+
+}  // namespace das::trace

@@ -1,0 +1,123 @@
+// Deterministic event recorder for the full operation lifecycle.
+//
+// The tracer answers "where did this request's time go, mechanically" at
+// event granularity: request arrival, per-op send, server enqueue, the DAS
+// mechanism actions (defer, resume, re-rank, aging promotion), service
+// start/end, response and request completion, plus sampled per-server
+// counters (backlog, mu_hat, runnable/deferred queue depths).
+//
+// Design constraints, in order:
+//   * Zero overhead when disabled. Every producer holds a nullable
+//     `Tracer*`; a null pointer means not a single instruction beyond the
+//     branch runs. No simulator events, no RNG draws, no message-size
+//     changes ever originate here, so a traced run is bit-identical (all
+//     ExperimentResult fields) to an untraced one.
+//   * Deterministic. Events are recorded in dispatch order with simulation
+//     timestamps only; two traced runs with the same seed produce identical
+//     event sequences (and byte-identical exported JSON, see
+//     chrome_trace.hpp).
+//   * Bounded. A configurable cap stops retention; overflow is counted
+//     explicitly (dropped()) instead of silently truncating.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace das::trace {
+
+/// What happened. Payload fields a/b of TraceEvent are per-kind (documented
+/// at each typed emitter below).
+enum class EventKind : std::uint8_t {
+  kRequestArrival,   // client: a new request entered the system
+  kOpSend,           // client -> server op message (a=demand_us, b=resend)
+  kServerEnqueue,    // op joined a server's scheduler queue
+  kOpDefer,          // DAS parked the op in the deferred set (a=est_other)
+  kOpResume,         // deferral window closed; op back in the runnable set
+  kOpRerank,         // progress message re-keyed the op (a=old, b=new key)
+  kAgingPromotion,   // starvation bound served the oldest op (a=waited_us)
+  kServiceStart,     // op entered service (a=demand_us)
+  kServiceEnd,       // op left service (completion or preemption)
+  kResponse,         // client accepted the op's response
+  kRequestComplete,  // last response arrived (a=rct_us)
+  kCounterSample,    // per-server gauges (a=backlog_us, b=mu_hat,
+                     //   c=runnable depth, d=deferred depth)
+};
+
+/// Stable lower-snake identifier, e.g. "op_defer", "service_start".
+const char* to_string(EventKind kind);
+
+/// One recorded event. Fixed-size so the ring stays cache-friendly; ids not
+/// meaningful for a kind are left at their defaults (kInvalidServer etc.).
+struct TraceEvent {
+  EventKind kind = EventKind::kRequestArrival;
+  SimTime t = 0;
+  RequestId request = 0;
+  OperationId op = 0;
+  ClientId client = 0;
+  ServerId server = kInvalidServer;
+  /// Kind-specific payload; see EventKind.
+  double a = 0;
+  double b = 0;
+  double c = 0;
+  double d = 0;
+};
+
+class Tracer {
+ public:
+  struct Config {
+    /// Maximum retained events; later events are counted as dropped.
+    std::size_t cap = 1u << 20;
+    /// Servers emit one counter sample every `counter_stride` received ops.
+    std::size_t counter_stride = 16;
+  };
+
+  Tracer();
+  explicit Tracer(Config config);
+
+  void record(const TraceEvent& event);
+
+  // --- typed emitters (thin wrappers building the payload layout) ---------
+  void request_arrival(SimTime t, RequestId request, ClientId client,
+                       std::size_t fanout);
+  /// `resend` marks retransmissions and hedge copies.
+  void op_send(SimTime t, OperationId op, RequestId request, ClientId client,
+               ServerId server, double demand_us, bool resend);
+  void server_enqueue(SimTime t, OperationId op, RequestId request,
+                      ServerId server);
+  void op_defer(SimTime t, OperationId op, RequestId request, ServerId server,
+                SimTime est_other_completion);
+  void op_resume(SimTime t, OperationId op, RequestId request, ServerId server);
+  void op_rerank(SimTime t, OperationId op, RequestId request, ServerId server,
+                 double old_key, double new_key);
+  void aging_promotion(SimTime t, OperationId op, RequestId request,
+                       ServerId server, Duration waited_us);
+  void service_start(SimTime t, OperationId op, RequestId request,
+                     ServerId server, double demand_us);
+  void service_end(SimTime t, OperationId op, RequestId request, ServerId server);
+  void response(SimTime t, OperationId op, RequestId request, ClientId client,
+                ServerId server);
+  void request_complete(SimTime t, RequestId request, ClientId client,
+                        double rct_us);
+  void counter_sample(SimTime t, ServerId server, double backlog_us,
+                      double mu_hat, std::size_t runnable, std::size_t deferred);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Events rejected by the cap (explicit drop accounting: retained +
+  /// dropped = offered).
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t offered() const {
+    return static_cast<std::uint64_t>(events_.size()) + dropped_;
+  }
+  std::size_t cap() const { return config_.cap; }
+  std::size_t counter_stride() const { return config_.counter_stride; }
+
+ private:
+  Config config_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace das::trace

@@ -41,10 +41,29 @@ TEST(Timeline, CoversTheRunInOrder) {
   for (const auto& p : r.timeline) {
     EXPECT_GT(p.count, 0u);
     EXPECT_GT(p.mean_rct, 0.0);
+    // The per-bucket p99 comes from the log-bucketed histogram (bucket
+    // midpoints), so it tracks the mean from above up to the ~0.5% bucket
+    // resolution rather than exactly.
+    EXPECT_GT(p.p99_rct, 0.0);
+    EXPECT_GE(p.p99_rct, p.mean_rct * 0.99);
     total += p.count;
   }
   // The timeline covers ALL completions, including warmup arrivals.
   EXPECT_EQ(total, r.requests_completed);
+}
+
+TEST(Timeline, BucketP99MatchesSingleSample) {
+  // A bucket holding one request reports that request's RCT as its p99 up to
+  // the histogram's bucket-midpoint resolution.
+  Metrics metrics;
+  metrics.set_window(0, kTimeInfinity);
+  metrics.enable_timeline(1000.0);
+  metrics.record_request(10.0, 250.0, 4);
+  const auto points = metrics.timeline();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].count, 1u);
+  EXPECT_EQ(points[0].mean_rct, 240.0);
+  EXPECT_NEAR(points[0].p99_rct, 240.0, 240.0 * 0.02);
 }
 
 TEST(Timeline, ReflectsALoadStep) {

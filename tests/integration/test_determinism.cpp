@@ -62,11 +62,24 @@ void expect_bit_identical(const ExperimentResult& a, const ExperimentResult& b) 
   EXPECT_EQ(a.net_messages, b.net_messages);
   EXPECT_EQ(a.net_bytes, b.net_bytes);
   EXPECT_EQ(a.progress_messages, b.progress_messages);
+  EXPECT_EQ(a.ops_deferred, b.ops_deferred);
+  EXPECT_EQ(a.ops_resumed, b.ops_resumed);
+  EXPECT_EQ(a.ops_aged, b.ops_aged);
+  EXPECT_EQ(a.reranks_applied, b.reranks_applied);
+  EXPECT_EQ(a.breakdown.requests, b.breakdown.requests);
+  EXPECT_EQ(a.breakdown.mean_rct_us, b.breakdown.mean_rct_us);
+  EXPECT_EQ(a.breakdown.mean_network_us, b.breakdown.mean_network_us);
+  EXPECT_EQ(a.breakdown.mean_runnable_wait_us, b.breakdown.mean_runnable_wait_us);
+  EXPECT_EQ(a.breakdown.mean_deferred_wait_us, b.breakdown.mean_deferred_wait_us);
+  EXPECT_EQ(a.breakdown.mean_service_us, b.breakdown.mean_service_us);
+  EXPECT_EQ(a.breakdown.mean_straggler_slack_us,
+            b.breakdown.mean_straggler_slack_us);
   EXPECT_EQ(a.sim_duration_us, b.sim_duration_us);
   ASSERT_EQ(a.timeline.size(), b.timeline.size());
   for (std::size_t i = 0; i < a.timeline.size(); ++i) {
     EXPECT_EQ(a.timeline[i].bucket_start, b.timeline[i].bucket_start);
     EXPECT_EQ(a.timeline[i].mean_rct, b.timeline[i].mean_rct);
+    EXPECT_EQ(a.timeline[i].p99_rct, b.timeline[i].p99_rct);
     EXPECT_EQ(a.timeline[i].count, b.timeline[i].count);
   }
 }

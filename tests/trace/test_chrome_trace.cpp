@@ -1,0 +1,183 @@
+// End-to-end tracing: a traced cluster run produces a well-formed Chrome
+// trace-event JSON, tracing is an observation-only side channel (bit-identical
+// ExperimentResult with and without it), and traced runs are themselves
+// deterministic (byte-identical JSON for the same seed).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/tracer.hpp"
+
+namespace das::trace {
+namespace {
+
+core::ClusterConfig traced_config() {
+  core::ClusterConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_clients = 2;
+  cfg.keys_per_server = 200;
+  cfg.zipf_theta = 0.9;
+  cfg.load_calibration = core::LoadCalibration::kHottestServer;
+  cfg.target_load = 0.7;
+  cfg.policy = sched::Policy::kDas;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+core::RunWindow short_window() {
+  core::RunWindow w;
+  w.warmup_us = 2.0 * kMillisecond;
+  w.measure_us = 15.0 * kMillisecond;
+  return w;
+}
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+void expect_bit_identical(const core::ExperimentResult& a,
+                          const core::ExperimentResult& b) {
+  EXPECT_EQ(a.rct.count, b.rct.count);
+  EXPECT_EQ(a.rct.mean, b.rct.mean);
+  EXPECT_EQ(a.rct.p99, b.rct.p99);
+  EXPECT_EQ(a.op_latency.mean, b.op_latency.mean);
+  EXPECT_EQ(a.op_wait.mean, b.op_wait.mean);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.ops_completed, b.ops_completed);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+  EXPECT_EQ(a.net_bytes, b.net_bytes);
+  EXPECT_EQ(a.progress_messages, b.progress_messages);
+  EXPECT_EQ(a.mean_server_utilization, b.mean_server_utilization);
+  EXPECT_EQ(a.ops_deferred, b.ops_deferred);
+  EXPECT_EQ(a.ops_resumed, b.ops_resumed);
+  EXPECT_EQ(a.ops_aged, b.ops_aged);
+  EXPECT_EQ(a.reranks_applied, b.reranks_applied);
+  EXPECT_EQ(a.breakdown.requests, b.breakdown.requests);
+  EXPECT_EQ(a.breakdown.mean_network_us, b.breakdown.mean_network_us);
+  EXPECT_EQ(a.breakdown.mean_runnable_wait_us, b.breakdown.mean_runnable_wait_us);
+  EXPECT_EQ(a.breakdown.mean_deferred_wait_us, b.breakdown.mean_deferred_wait_us);
+  EXPECT_EQ(a.breakdown.mean_service_us, b.breakdown.mean_service_us);
+  EXPECT_EQ(a.sim_duration_us, b.sim_duration_us);
+}
+
+TEST(ChromeTrace, TracingIsObservationOnly) {
+  // A traced run must be bit-identical to an untraced one: no extra simulator
+  // events, no RNG draws, no wire-size changes.
+  const auto cfg = traced_config();
+  const core::ExperimentResult plain = core::run_experiment(cfg, short_window());
+  Tracer tracer;
+  const core::ExperimentResult traced =
+      core::run_experiment(cfg, short_window(), &tracer);
+  EXPECT_GT(tracer.events().size(), 0u);
+  expect_bit_identical(plain, traced);
+}
+
+TEST(ChromeTrace, SameSeedProducesByteIdenticalJson) {
+  const auto cfg = traced_config();
+  Tracer a;
+  core::run_experiment(cfg, short_window(), &a);
+  Tracer b;
+  core::run_experiment(cfg, short_window(), &b);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_EQ(chrome_trace_string(a), chrome_trace_string(b));
+}
+
+TEST(ChromeTrace, CoversTheOpLifecycle) {
+  const auto cfg = traced_config();
+  Tracer tracer;
+  const core::ExperimentResult r =
+      core::run_experiment(cfg, short_window(), &tracer);
+
+  std::size_t arrivals = 0, sends = 0, enqueues = 0, starts = 0, ends = 0,
+              responses = 0, completes = 0, defers = 0, resumes = 0,
+              samples = 0;
+  for (const TraceEvent& ev : tracer.events()) {
+    switch (ev.kind) {
+      case EventKind::kRequestArrival: ++arrivals; break;
+      case EventKind::kOpSend: ++sends; break;
+      case EventKind::kServerEnqueue: ++enqueues; break;
+      case EventKind::kServiceStart: ++starts; break;
+      case EventKind::kServiceEnd: ++ends; break;
+      case EventKind::kResponse: ++responses; break;
+      case EventKind::kRequestComplete: ++completes; break;
+      case EventKind::kOpDefer: ++defers; break;
+      case EventKind::kOpResume: ++resumes; break;
+      case EventKind::kCounterSample: ++samples; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(arrivals, r.requests_generated);
+  EXPECT_EQ(completes, r.requests_completed);
+  EXPECT_EQ(sends, r.ops_generated);
+  EXPECT_EQ(enqueues, r.ops_generated);
+  EXPECT_EQ(responses, r.ops_completed);
+  // Non-preemptive run: every op has exactly one service slice.
+  EXPECT_EQ(starts, r.ops_completed);
+  EXPECT_EQ(ends, r.ops_completed);
+  // DAS under load exercises its deferral machinery.
+  EXPECT_EQ(static_cast<std::uint64_t>(defers), r.ops_deferred);
+  EXPECT_EQ(static_cast<std::uint64_t>(resumes), r.ops_resumed);
+  EXPECT_GT(samples, 0u);
+
+  // Timestamps are monotone in dispatch order within each producer; globally
+  // the recorder preserves simulator dispatch order, so the sequence is
+  // non-decreasing.
+  for (std::size_t i = 1; i < tracer.events().size(); ++i)
+    EXPECT_GE(tracer.events()[i].t, tracer.events()[i - 1].t);
+}
+
+TEST(ChromeTrace, JsonShapeAndBalance) {
+  const auto cfg = traced_config();
+  Tracer tracer;
+  core::run_experiment(cfg, short_window(), &tracer);
+  const std::string json = chrome_trace_string(tracer);
+
+  EXPECT_EQ(json.rfind("{", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\""), std::string::npos);
+
+  // All phases the exporter promises: metadata, async deferral spans, flow
+  // steps, service slices, instants and counters.
+  for (const char* phase :
+       {"\"ph\": \"M\"", "\"ph\": \"b\"", "\"ph\": \"e\"", "\"ph\": \"s\"",
+        "\"ph\": \"t\"", "\"ph\": \"f\"", "\"ph\": \"B\"", "\"ph\": \"E\"",
+        "\"ph\": \"C\""})
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+
+  // Track naming for Perfetto.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("server 0"), std::string::npos);
+  EXPECT_NE(json.find("client 0"), std::string::npos);
+
+  // No emitted text contains braces inside strings, so brace balance is a
+  // meaningful structural check.
+  EXPECT_EQ(count_of(json, "{"), count_of(json, "}"));
+  EXPECT_EQ(count_of(json, "["), count_of(json, "]"));
+
+  // Deferral spans are balanced writer-side: every async begin has an end.
+  EXPECT_EQ(count_of(json, "\"ph\": \"b\""), count_of(json, "\"ph\": \"e\""));
+  // Service slices balance too.
+  EXPECT_EQ(count_of(json, "\"ph\": \"B\""), count_of(json, "\"ph\": \"E\""));
+}
+
+TEST(ChromeTrace, DropCountSurfacesInTheFooter) {
+  const auto cfg = traced_config();
+  Tracer tracer{Tracer::Config{500, 16}};
+  core::run_experiment(cfg, short_window(), &tracer);
+  EXPECT_EQ(tracer.events().size(), 500u);
+  EXPECT_GT(tracer.dropped(), 0u);
+  const std::string json = chrome_trace_string(tracer);
+  EXPECT_NE(json.find("\"event_cap\": 500"), std::string::npos);
+  EXPECT_EQ(json.find("\"dropped_events\": 0,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace das::trace

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "trace/tracer.hpp"
+
+namespace das::trace {
+namespace {
+
+TEST(Tracer, DefaultConfig) {
+  const Tracer tracer;
+  EXPECT_EQ(tracer.cap(), 1u << 20);
+  EXPECT_EQ(tracer.counter_stride(), 16u);
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.offered(), 0u);
+}
+
+TEST(Tracer, ConfigIsValidated) {
+  EXPECT_THROW(Tracer(Tracer::Config{0, 16}), std::logic_error);
+  EXPECT_THROW(Tracer(Tracer::Config{1024, 0}), std::logic_error);
+}
+
+TEST(Tracer, CapDropAccounting) {
+  Tracer tracer{Tracer::Config{4, 16}};
+  for (int i = 0; i < 10; ++i)
+    tracer.server_enqueue(static_cast<SimTime>(i), /*op=*/i, /*request=*/i,
+                          /*server=*/0);
+  EXPECT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // retained + dropped = offered, always.
+  EXPECT_EQ(tracer.offered(), 10u);
+  // The retained prefix is the FIRST events offered, in order.
+  for (std::size_t i = 0; i < tracer.events().size(); ++i)
+    EXPECT_EQ(tracer.events()[i].t, static_cast<SimTime>(i));
+}
+
+TEST(Tracer, TypedEmittersFillThePayloadLayout) {
+  Tracer tracer;
+  tracer.request_arrival(1.0, /*request=*/7, /*client=*/2, /*fanout=*/5);
+  tracer.op_send(2.0, /*op=*/70, /*request=*/7, /*client=*/2, /*server=*/3,
+                 /*demand_us=*/12.5, /*resend=*/true);
+  tracer.op_defer(3.0, 70, 7, 3, /*est_other_completion=*/99.5);
+  tracer.op_rerank(4.0, 70, 7, 3, /*old_key=*/50.0, /*new_key=*/25.0);
+  tracer.aging_promotion(5.0, 70, 7, 3, /*waited_us=*/44.0);
+  tracer.service_start(6.0, 70, 7, 3, /*demand_us=*/12.5);
+  tracer.request_complete(7.0, 7, 2, /*rct_us=*/6.0);
+  tracer.counter_sample(8.0, /*server=*/3, /*backlog_us=*/123.0,
+                        /*mu_hat=*/0.5, /*runnable=*/9, /*deferred=*/4);
+
+  const auto& ev = tracer.events();
+  ASSERT_EQ(ev.size(), 8u);
+
+  EXPECT_EQ(ev[0].kind, EventKind::kRequestArrival);
+  EXPECT_EQ(ev[0].request, 7u);
+  EXPECT_EQ(ev[0].client, 2u);
+  EXPECT_EQ(ev[0].a, 5.0);  // fanout
+  EXPECT_EQ(ev[0].server, kInvalidServer);
+
+  EXPECT_EQ(ev[1].kind, EventKind::kOpSend);
+  EXPECT_EQ(ev[1].op, 70u);
+  EXPECT_EQ(ev[1].server, 3u);
+  EXPECT_EQ(ev[1].a, 12.5);  // demand
+  EXPECT_EQ(ev[1].b, 1.0);   // resend
+
+  EXPECT_EQ(ev[2].kind, EventKind::kOpDefer);
+  EXPECT_EQ(ev[2].a, 99.5);  // est_other_completion
+
+  EXPECT_EQ(ev[3].kind, EventKind::kOpRerank);
+  EXPECT_EQ(ev[3].a, 50.0);  // old key
+  EXPECT_EQ(ev[3].b, 25.0);  // new key
+
+  EXPECT_EQ(ev[4].kind, EventKind::kAgingPromotion);
+  EXPECT_EQ(ev[4].a, 44.0);  // waited
+
+  EXPECT_EQ(ev[5].kind, EventKind::kServiceStart);
+  EXPECT_EQ(ev[5].a, 12.5);
+
+  EXPECT_EQ(ev[6].kind, EventKind::kRequestComplete);
+  EXPECT_EQ(ev[6].a, 6.0);  // rct
+
+  EXPECT_EQ(ev[7].kind, EventKind::kCounterSample);
+  EXPECT_EQ(ev[7].server, 3u);
+  EXPECT_EQ(ev[7].a, 123.0);  // backlog
+  EXPECT_EQ(ev[7].b, 0.5);    // mu_hat
+  EXPECT_EQ(ev[7].c, 9.0);    // runnable depth
+  EXPECT_EQ(ev[7].d, 4.0);    // deferred depth
+}
+
+TEST(Tracer, EventKindNamesAreStable) {
+  EXPECT_STREQ(to_string(EventKind::kRequestArrival), "request_arrival");
+  EXPECT_STREQ(to_string(EventKind::kOpDefer), "op_defer");
+  EXPECT_STREQ(to_string(EventKind::kOpResume), "op_resume");
+  EXPECT_STREQ(to_string(EventKind::kAgingPromotion), "aging_promotion");
+  EXPECT_STREQ(to_string(EventKind::kServiceStart), "service_start");
+  EXPECT_STREQ(to_string(EventKind::kCounterSample), "counter_sample");
+}
+
+}  // namespace
+}  // namespace das::trace

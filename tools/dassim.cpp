@@ -4,11 +4,14 @@
 //   ./build/tools/dassim --policy=all --fanout=bimodal:2:32:0.2 --format=csv
 //   ./build/tools/dassim --policy=das,fcfs --stragglers=0.25 --straggler-speed=0.5
 //   ./build/tools/dassim --sweep --jobs=4 --json=BENCH_sweep.json
+//   ./build/tools/dassim --policy=das --trace=trace.json --breakdown
 //
 // Prints one row per policy; --format=csv emits machine-readable output for
 // plotting scripts. --sweep runs a (load grid x policy) sweep across a
 // thread pool (--jobs) with bit-identical-to-serial results and can persist
-// them as BENCH_<experiment>.json (--json).
+// them as BENCH_<experiment>.json (--json). --trace records the full op
+// lifecycle of a single-policy run as Chrome trace-event JSON (open in
+// Perfetto); --breakdown prints the exact per-component RCT attribution.
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -19,6 +22,8 @@
 #include "core/bench_json.hpp"
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/tracer.hpp"
 #include "workload/spec.hpp"
 
 namespace {
@@ -178,6 +183,13 @@ int main(int argc, char** argv) {
   flags.define("experiment", "e1_load_mean", "sweep experiment label");
   flags.define("json", "",
                "write sweep results as BENCH-schema JSON to this path");
+  flags.define("trace", "",
+               "write a Chrome trace-event JSON (Perfetto-loadable) of the "
+               "run to this path; requires exactly one --policy, no --sweep");
+  flags.define("trace-cap", "1000000",
+               "maximum retained trace events (overflow counted, not kept)");
+  flags.define("breakdown", "false",
+               "print the exact per-component RCT attribution per policy");
   flags.define("help", "false", "show this help");
 
   std::string error;
@@ -253,7 +265,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string trace_path = flags.get_string("trace");
+
   if (flags.get_bool("sweep")) {
+    if (!trace_path.empty()) {
+      std::cerr << "--trace is incompatible with --sweep\n";
+      return 2;
+    }
     try {
       return run_sweep(cfg, window, policies, flags);
     } catch (const std::exception& e) {
@@ -262,10 +280,48 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto runs = core::compare_policies(cfg, policies, window);
+  std::vector<core::PolicyRun> runs;
+  if (!trace_path.empty()) {
+    if (policies.size() != 1) {
+      std::cerr << "--trace requires exactly one --policy\n";
+      return 2;
+    }
+    trace::Tracer::Config trace_cfg;
+    trace_cfg.cap = static_cast<std::size_t>(flags.get_int("trace-cap"));
+    trace::Tracer tracer{trace_cfg};
+    cfg.policy = policies.front();
+    runs.push_back({policies.front(), core::run_experiment(cfg, window, &tracer)});
+    trace::write_chrome_trace(trace_path, tracer);
+    std::cerr << "trace: " << tracer.events().size() << " events retained, "
+              << tracer.dropped() << " dropped (cap " << tracer.cap()
+              << ") -> " << trace_path << "\n";
+  } else {
+    runs = core::compare_policies(cfg, policies, window);
+  }
   const std::string format = flags.get_string("format");
   const double fcfs_mean =
       runs.front().policy == sched::Policy::kFcfs ? runs.front().result.rct.mean : 0;
+
+  // Exact RCT attribution: component means over the measurement window plus
+  // the mechanism-activation counters (what the scheduler actually did).
+  const auto print_breakdown = [&runs] {
+    Table table{{"policy", "requests", "mean RCT", "network", "runnable wait",
+                 "deferred wait", "service", "straggler slack", "deferred",
+                 "resumed", "aged", "reranks"}};
+    for (const auto& [policy, r] : runs) {
+      const auto& b = r.breakdown;
+      table.add_row({sched::to_string(policy), std::to_string(b.requests),
+                     Table::fmt(b.mean_rct_us, 1), Table::fmt(b.mean_network_us, 1),
+                     Table::fmt(b.mean_runnable_wait_us, 1),
+                     Table::fmt(b.mean_deferred_wait_us, 1),
+                     Table::fmt(b.mean_service_us, 1),
+                     Table::fmt(b.mean_straggler_slack_us, 1),
+                     std::to_string(r.ops_deferred), std::to_string(r.ops_resumed),
+                     std::to_string(r.ops_aged), std::to_string(r.reranks_applied)});
+    }
+    std::cout << "== RCT breakdown (component means, us) ==\n";
+    table.print(std::cout);
+  };
 
   if (format == "csv") {
     std::cout << "policy,requests,mean_rct_us,p50_us,p95_us,p99_us,p999_us,"
@@ -277,6 +333,7 @@ int main(int argc, char** argv) {
                 << r.mean_server_utilization << ',' << r.max_server_utilization
                 << ',' << r.net_messages << ',' << r.progress_messages << '\n';
     }
+    if (flags.get_bool("breakdown")) print_breakdown();
     return 0;
   }
   if (format != "table") {
@@ -296,5 +353,6 @@ int main(int argc, char** argv) {
          Table::fmt(r.max_server_utilization, 3)});
   }
   table.print(std::cout);
+  if (flags.get_bool("breakdown")) print_breakdown();
   return 0;
 }
