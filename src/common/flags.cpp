@@ -53,6 +53,12 @@ bool Flags::parse(int argc, const char* const* argv, std::string* error) {
         return false;
       }
     }
+    if (it->second.explicitly_set) {
+      // Silent last-one-wins makes a fat-fingered sweep command lie about
+      // what it ran; reject instead, deterministically.
+      *error = "duplicate flag: --" + name;
+      return false;
+    }
     it->second.value = *value;
     it->second.explicitly_set = true;
   }

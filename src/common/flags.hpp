@@ -22,8 +22,11 @@ class Flags {
               const std::string& help);
 
   /// Parses argv (skipping argv[0]). Returns false and fills `error` on an
-  /// unknown flag, a missing value, or a malformed token. Positional
-  /// arguments are collected into positionals().
+  /// unknown flag, a missing value, or a flag given twice (last-one-wins
+  /// would silently run a different experiment than the command line reads).
+  /// Error messages are deterministic: "unknown flag: --x",
+  /// "flag --x needs a value", "duplicate flag: --x". Positional arguments
+  /// are collected into positionals().
   bool parse(int argc, const char* const* argv, std::string* error);
 
   bool has(const std::string& name) const;

@@ -1,0 +1,174 @@
+// Small-buffer-optimized move-only callable.
+//
+// The event queue schedules millions of closures per simulated second;
+// std::function heap-allocates once the capture exceeds its tiny internal
+// buffer (two words on common ABIs) and pays a type-erasure manager call on
+// every move, which a binary heap does O(log n) times per event. SmallFn
+// inverts the trade: a caller-chosen inline capacity sized for the largest
+// hot-path closure (the cluster's per-op send capture), trivial fn-pointer
+// dispatch, and a noexcept move so heap sift operations never throw. Heap
+// allocation only happens for callables that are oversized, over-aligned, or
+// have throwing moves — none exist on the hot path, and is_inline() lets
+// tests pin that.
+//
+// Move-only on purpose: an event callback is scheduled exactly once and
+// invoked (or destroyed) exactly once, so copyability would only invite the
+// gratuitous copies this type exists to eliminate.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace das {
+
+template <std::size_t Capacity>
+class SmallFn {
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps any void() callable. Intentionally implicit so call sites keep
+  /// passing plain lambdas. Construction may throw (the callable's own
+  /// move/copy, or bad_alloc on the heap fallback); moves never do.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+                !std::is_same_v<std::remove_cvref_t<F>, std::nullptr_t> &&
+                std::is_invocable_v<std::remove_cvref_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace_fn(std::forward<F>(f));
+  }
+
+  /// Assigning a callable constructs it directly in the buffer — no
+  /// temporary SmallFn, no relocate. The scheduling hot path relies on this
+  /// to move a closure exactly once (call site -> pooled slot).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+                !std::is_same_v<std::remove_cvref_t<F>, std::nullptr_t> &&
+                std::is_invocable_v<std::remove_cvref_t<F>&>>>
+  SmallFn& operator=(F&& f) {
+    reset();
+    emplace_fn(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFn(SmallFn&& other) noexcept { steal(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  /// Invokes the callable. Precondition: non-empty (callers DAS_CHECK).
+  void operator()() { vtable_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+  friend bool operator==(const SmallFn& fn, std::nullptr_t) noexcept {
+    return fn.vtable_ == nullptr;
+  }
+  friend bool operator!=(const SmallFn& fn, std::nullptr_t) noexcept {
+    return fn.vtable_ != nullptr;
+  }
+
+  /// True when the callable lives in the inline buffer (tests pin that the
+  /// hot-path closures never spill to the heap). False when empty.
+  bool is_inline() const noexcept {
+    return vtable_ != nullptr && !vtable_->heap;
+  }
+
+  static constexpr std::size_t capacity() { return Capacity; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    /// Move-constructs dst's storage from src's and destroys src's. Both
+    /// point at raw Capacity-byte buffers.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  struct InlineOps {
+    static Fn* self(void* p) { return static_cast<Fn*>(p); }
+    static void invoke(void* p) { (*self(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*self(src)));
+      self(src)->~Fn();
+    }
+    static void destroy(void* p) noexcept { self(p)->~Fn(); }
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn** cell(void* p) { return static_cast<Fn**>(p); }
+    static void invoke(void* p) { (**cell(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn*(*cell(src));  // pointer steal; no Fn move
+    }
+    static void destroy(void* p) noexcept { delete *cell(p); }
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{&InlineOps<Fn>::invoke,
+                                        &InlineOps<Fn>::relocate,
+                                        &InlineOps<Fn>::destroy, false};
+  template <typename Fn>
+  static constexpr VTable kHeapVTable{&HeapOps<Fn>::invoke,
+                                      &HeapOps<Fn>::relocate,
+                                      &HeapOps<Fn>::destroy, true};
+
+  template <typename F>
+  void emplace_fn(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vtable_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  void steal(SmallFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace das

@@ -90,8 +90,8 @@ void LogHistogram::merge(const LogHistogram& other) {
 }
 
 double LogHistogram::quantile(double q) const {
-  DAS_CHECK(total_ > 0);
-  DAS_CHECK(q >= 0.0 && q <= 1.0);
+  DAS_CHECK_MSG(total_ > 0, "quantile of empty histogram");
+  DAS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile order must be in [0, 1]");
   const auto target = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(total_)));
   std::uint64_t seen = 0;

@@ -55,7 +55,14 @@ class LogHistogram {
   std::size_t count() const { return total_; }
   std::size_t overflow_count() const { return overflow_; }
   /// Quantile in [0, 1]; returns the geometric midpoint of the bucket that
-  /// contains the q-th sample. Requires at least one sample.
+  /// contains the q-th sample.
+  ///
+  /// Empty-input contract: querying an empty histogram throws
+  /// std::logic_error with the fixed message "quantile of empty histogram"
+  /// (wrapped in the DAS_CHECK prefix). There is no meaningful value to
+  /// return — 0 would read as "zero latency" in a report — so the caller
+  /// decides: LatencyRecorder::summary() checks count() first and pins every
+  /// field of an empty summary to zero instead of querying.
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }
@@ -91,6 +98,9 @@ class LatencyRecorder {
   explicit LatencyRecorder(double hi = 1e9);
   void add(double value);
   void merge(const LatencyRecorder& other);
+  /// With no samples recorded, every field is zero (count included) — the
+  /// pinned empty-input behavior; quantiles are never queried on an empty
+  /// histogram.
   LatencySummary summary() const;
   const StreamingStats& moments() const { return stats_; }
   const LogHistogram& histogram() const { return hist_; }

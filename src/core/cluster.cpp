@@ -45,6 +45,8 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
                                                       config_.net_jitter_sigma)
                         : net::make_constant_latency(config_.net_latency_us);
   net_cfg.loss_probability = config_.msg_loss_probability;
+  net_cfg.num_nodes = static_cast<std::uint32_t>(config_.num_servers +
+                                                 config_.num_clients);
   DAS_CHECK_MSG(config_.msg_loss_probability == 0 || config_.retry_timeout_us > 0,
                 "message loss requires a retry timeout or requests never finish");
   net_ = std::make_unique<net::Network>(sim_, net_cfg, master.fork(0xA11CE));

@@ -2,13 +2,49 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <exception>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "common/check.hpp"
 
 namespace das::core {
+
+std::vector<double> parse_load_list(const std::string& spec) {
+  std::vector<double> out;
+  std::istringstream is{spec};
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (token.empty()) {
+      throw std::invalid_argument("empty element in load list: '" + spec + "'");
+    }
+    double load = 0;
+    std::size_t pos = 0;
+    try {
+      load = std::stod(token, &pos);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("malformed load '" + token + "' in load list");
+    }
+    if (pos != token.size() || !std::isfinite(load)) {
+      throw std::invalid_argument("malformed load '" + token + "' in load list");
+    }
+    if (load <= 0.0 || load >= 1.0) {
+      throw std::invalid_argument("load '" + token +
+                                  "' outside (0, 1) in load list");
+    }
+    out.push_back(load);
+  }
+  // getline never yields a token after a trailing comma; catch it explicitly
+  // so "0.5," fails like ",0.5" does.
+  if (!spec.empty() && spec.back() == ',') {
+    throw std::invalid_argument("empty element in load list: '" + spec + "'");
+  }
+  if (out.empty()) throw std::invalid_argument("empty load list");
+  return out;
+}
 
 std::size_t SweepRunner::add(SweepPoint point) {
   DAS_CHECK_MSG(!point.experiment.empty(), "sweep point needs an experiment label");

@@ -20,6 +20,14 @@
 
 namespace das::core {
 
+/// Parses a comma-separated target-load list ("0.3,0.5,0.8") into the sweep
+/// grid. Strict and deterministic: throws std::invalid_argument naming the
+/// offending token on an empty list, an empty element (trailing/double
+/// comma), a non-numeric element, trailing junk ("0.5x"), or a load outside
+/// (0, 1) — a malformed grid must fail before any point runs, not after the
+/// valid prefix burned an hour.
+std::vector<double> parse_load_list(const std::string& spec);
+
 /// One experiment point of a sweep grid. `experiment` and `point` are labels
 /// (table/JSON coordinates, e.g. "E1_load_mean" / "load=0.7"); the policy is
 /// applied onto `config` when the point runs.

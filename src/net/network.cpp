@@ -83,9 +83,13 @@ Network::Network(sim::Simulator& sim, Config config, Rng rng)
   DAS_CHECK(config_.latency != nullptr);
   DAS_CHECK(config_.bandwidth_bytes_per_us >= 0);
   DAS_CHECK(config_.loss_probability >= 0 && config_.loss_probability < 1);
+  if (config_.num_nodes != 0) {
+    link_last_dense_.assign(
+        static_cast<std::size_t>(config_.num_nodes) * config_.num_nodes, 0.0);
+  }
 }
 
-void Network::send(NodeId from, NodeId to, Bytes size, std::function<void()> deliver) {
+void Network::send(NodeId from, NodeId to, Bytes size, sim::EventFn&& deliver) {
   DAS_CHECK(deliver != nullptr);
   ++stats_.messages_sent;
   stats_.bytes_sent += size;
@@ -99,9 +103,18 @@ void Network::send(NodeId from, NodeId to, Bytes size, std::function<void()> del
   }
   SimTime arrival = sim_.now() + delay;
   if (config_.fifo_per_link) {
-    auto& last = link_last_delivery_[link_key(from, to)];
-    arrival = std::max(arrival, last);
-    last = arrival;
+    SimTime* last;
+    if (config_.num_nodes != 0) {
+      DAS_CHECK_MSG(from < config_.num_nodes && to < config_.num_nodes,
+                    "node id beyond Config::num_nodes");
+      last = &link_last_dense_[static_cast<std::size_t>(from) *
+                                   config_.num_nodes +
+                               to];
+    } else {
+      last = &link_last_sparse_[link_key(from, to)];
+    }
+    arrival = std::max(arrival, *last);
+    *last = arrival;
   }
   sim_.schedule_at(arrival, std::move(deliver));
 }

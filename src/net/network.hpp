@@ -9,11 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
@@ -63,13 +63,20 @@ class Network {
     /// are counted but never delivered (fault injection — end-to-end
     /// recovery is the clients' responsibility).
     double loss_probability = 0.0;
+    /// Number of node addresses in play (the cluster sets servers+clients).
+    /// Nonzero switches the FIFO clamp to a dense num_nodes^2 table — one
+    /// indexed load per message instead of a hash probe. 0 keeps the sparse
+    /// map for callers with an open-ended address space.
+    std::uint32_t num_nodes = 0;
   };
 
   Network(sim::Simulator& sim, Config config, Rng rng);
 
   /// Sends `size` bytes from `from` to `to`; `deliver` runs at the receiver
-  /// when the message arrives.
-  void send(NodeId from, NodeId to, Bytes size, std::function<void()> deliver);
+  /// when the message arrives. Taken by rvalue reference and moved through
+  /// delivery scheduling: the pooled callback type is never copied (lambdas
+  /// convert to a temporary EventFn at the call site).
+  void send(NodeId from, NodeId to, Bytes size, sim::EventFn&& deliver);
 
   const NetworkStats& stats() const { return stats_; }
   Duration mean_latency() const { return config_.latency->mean(); }
@@ -80,7 +87,10 @@ class Network {
   Rng rng_;
   NetworkStats stats_;
   /// Last scheduled delivery time per directed link, for FIFO clamping.
-  std::unordered_map<std::uint64_t, SimTime> link_last_delivery_;
+  /// Dense table when num_nodes is known (indexed from*num_nodes+to; the
+  /// initial 0.0 is the clamp's identity), sparse fallback otherwise.
+  std::vector<SimTime> link_last_dense_;
+  FlatMap<std::uint64_t, SimTime> link_last_sparse_;
 };
 
 }  // namespace das::net

@@ -131,7 +131,7 @@ void DasScheduler::enqueue(const OpContext& op, SimTime now) {
   note_in(rec.op);
   place(h, rec, now);
   fifo_.push_back(h);
-  by_request_[op.request_id].insert(h);
+  by_request_[op.request_id].push_back(h);
   records_.emplace(h, std::move(rec));
 }
 
@@ -142,7 +142,7 @@ OpContext DasScheduler::finish(Handle h, SimTime now) {
   OpContext op = std::move(it->second.op);
   auto by_req = by_request_.find(op.request_id);
   if (by_req != by_request_.end()) {
-    by_req->second.erase(h);
+    std::erase(by_req->second, h);
     if (by_req->second.empty()) by_request_.erase(by_req);
   }
   records_.erase(it);

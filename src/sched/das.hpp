@@ -39,9 +39,9 @@
 #include <deque>
 #include <set>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "sched/scheduler_base.hpp"
 
 namespace das::sched {
@@ -131,11 +131,15 @@ class DasScheduler final : public SchedulerBase {
   Options options_;
   double mu_hat_ = 1.0;
 
-  std::unordered_map<Handle, Record> records_;
+  FlatMap<Handle, Record> records_;
   std::set<OrderKey> active_;    // runnable, SRPT-first by critical remaining
   std::set<OrderKey> deferred_;  // safely deferrable, by deferral expiry
   std::deque<Handle> fifo_;      // arrival order, for aging
-  std::unordered_map<RequestId, std::unordered_set<Handle>> by_request_;
+  /// Handles queued per request, in arrival order. Progress fan-in walks
+  /// this; re-keying one handle never disturbs another's membership, and the
+  /// per-handle outcome is order-independent, so a deterministic vector is
+  /// result-equivalent to the hash set it replaced (and far cheaper).
+  FlatMap<RequestId, std::vector<Handle>> by_request_;
   Handle next_handle_ = 0;
   std::uint64_t total_deferrals_ = 0;
   std::uint64_t resumes_ = 0;

@@ -7,13 +7,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <set>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/flat_map.hpp"
 #include "common/invariant.hpp"
 #include "sched/op_context.hpp"
 
@@ -139,7 +138,7 @@ class KeyedQueue : public Auditable {
   }
 
   std::set<OrderEntry> order_;
-  std::unordered_map<Handle, OpContext> ops_;
+  FlatMap<Handle, OpContext> ops_;
   Handle next_seq_ = 0;
 };
 

@@ -33,7 +33,7 @@ void ReqSrptScheduler::enqueue(const OpContext& op, SimTime now) {
   const double key = copy.total_demand_us;
   const Handle h = queue_.insert(key, std::move(copy));
   key_of_[h] = key;
-  by_request_[req].insert(h);
+  by_request_[req].push_back(h);
 }
 
 OpContext ReqSrptScheduler::dequeue(SimTime) {
@@ -48,7 +48,7 @@ void ReqSrptScheduler::forget(const OpContext& op, Handle h) {
   key_of_.erase(h);
   const auto it = by_request_.find(op.request_id);
   if (it != by_request_.end()) {
-    it->second.erase(h);
+    std::erase(it->second, h);
     if (it->second.empty()) by_request_.erase(it);
   }
 }

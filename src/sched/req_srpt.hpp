@@ -8,9 +8,9 @@
 // request-aware non-DAS baseline.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "sched/keyed_queue.hpp"
 #include "sched/scheduler_base.hpp"
 
@@ -41,9 +41,11 @@ class ReqSrptScheduler final : public SchedulerBase {
 
   KeyedQueue<double> queue_;
   /// Current remaining-demand key of each queued handle (needed to rekey).
-  std::unordered_map<Handle, double> key_of_;
-  /// Handles queued here per request, for progress fan-in.
-  std::unordered_map<RequestId, std::unordered_set<Handle>> by_request_;
+  FlatMap<Handle, double> key_of_;
+  /// Handles queued here per request in arrival order, for progress fan-in.
+  /// Re-keying is per-handle independent, so the deterministic vector walk
+  /// is result-equivalent to the hash set it replaced.
+  FlatMap<RequestId, std::vector<Handle>> by_request_;
   std::uint64_t reranks_ = 0;
 
   void forget(const OpContext& op, Handle h);

@@ -7,65 +7,49 @@
 
 namespace das::sim {
 
-EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
-  DAS_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  DAS_CHECK(fn != nullptr);
-  const std::uint64_t id = next_id_++;
-  queue_.emplace_back(t, next_seq_++, id, std::move(fn));
-  std::push_heap(queue_.begin(), queue_.end());
-  pending_ids_.insert(id);
-  // Growth can carry the queue across the compaction floor with a backlog of
-  // dead nodes accumulated while it was too small to bother compacting.
-  maybe_compact();
-  return EventHandle{id};
-}
-
-EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
-  DAS_CHECK_MSG(delay >= 0, "delay must be non-negative");
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-void Simulator::cancel(EventHandle h) {
-  if (!h.valid()) return;
-  // Erasing from pending_ids_ is the cancellation; the heap node is skipped
-  // lazily at pop time. Cancelling fired/cancelled/foreign handles is a no-op.
-  if (pending_ids_.erase(h.id_) != 0) maybe_compact();
-}
-
-void Simulator::maybe_compact() {
-  if (!compaction_enabled_ || queue_.size() < kCompactionFloor) return;
-  const std::size_t dead = queue_.size() - pending_ids_.size();
-  if (dead * 2 <= queue_.size()) return;
-  std::erase_if(queue_, [this](const Node& node) {
-    return !pending_ids_.contains(node.id);
-  });
+void Simulator::compact() {
+  std::erase_if(queue_, [this](const HeapEntry& e) { return !entry_live(e); });
   // Rebuilding cannot reorder dispatch: (t, seq) is a total order, so the
   // relative order of the surviving nodes is heap-shape-independent.
   std::make_heap(queue_.begin(), queue_.end());
   ++compactions_;
 }
 
-bool Simulator::pop_next(Node& out) {
+bool Simulator::pop_next(SimTime horizon, SimTime& t_out, EventFn& fn) {
   while (!queue_.empty()) {
+    if (!entry_live(queue_.front())) {  // cancelled: drop the dead node
+      std::pop_heap(queue_.begin(), queue_.end());
+      queue_.pop_back();
+      continue;
+    }
+    // Peek before popping: a beyond-horizon event stays exactly where it is,
+    // so run_until never disturbs the queue it leaves behind.
+    if (queue_.front().t > horizon) return false;
     std::pop_heap(queue_.begin(), queue_.end());
-    Node node = std::move(queue_.back());
+    const HeapEntry e = queue_.back();
     queue_.pop_back();
-    if (pending_ids_.erase(node.id) == 0) continue;  // was cancelled
+    t_out = e.t;
+    // Move the callback out and recycle the slot BEFORE invoking: the
+    // callback may schedule (growing the slab) or cancel, and a handle to
+    // this event is already spent.
+    fn = std::move(slots_[e.slot].fn);
+    release_slot(e.slot);
+    --live_;
     // Popping a live node can tip the dead fraction past the threshold.
     maybe_compact();
-    out = std::move(node);
     return true;
   }
   return false;
 }
 
 bool Simulator::step() {
-  Node node;
-  if (!pop_next(node)) return false;
-  DAS_CHECK(node.t >= now_);
-  now_ = node.t;
+  SimTime t = 0;
+  EventFn fn;
+  if (!pop_next(kTimeInfinity, t, fn)) return false;
+  DAS_CHECK(t >= now_);
+  now_ = t;
   ++dispatched_;
-  node.fn();
+  fn();
   maybe_audit();
   return true;
 }
@@ -78,23 +62,38 @@ void Simulator::add_auditable(const Auditable* auditable) {
 void Simulator::check_invariants() const {
   DAS_AUDIT(std::is_heap(queue_.begin(), queue_.end()),
             "event queue lost the heap property");
-  std::unordered_set<std::uint64_t> ids;
-  ids.reserve(queue_.size());
+  // Each live slot must be named by exactly one heap entry.
+  std::vector<std::uint8_t> seen(slots_.size(), 0);
   std::size_t live = 0;
-  for (const Node& node : queue_) {
-    DAS_AUDIT(ids.insert(node.id).second, "duplicate event id in the heap");
-    DAS_AUDIT(node.id < next_id_, "event id from the future");
-    DAS_AUDIT(node.seq < next_seq_, "event sequence from the future");
-    if (pending_ids_.contains(node.id)) {
-      ++live;
-      // Time monotonicity: dispatching any live event may never move the
-      // clock backwards.
-      DAS_AUDIT(node.t >= now_, "live event scheduled in the past");
-      DAS_AUDIT(node.fn != nullptr, "live event without a callback");
-    }
+  for (const HeapEntry& e : queue_) {
+    DAS_AUDIT(e.slot < slots_.size(), "heap entry names a slot out of range");
+    DAS_AUDIT(e.seq != 0 && e.seq < next_seq_, "event sequence out of range");
+    if (!entry_live(e)) continue;
+    ++live;
+    DAS_AUDIT(!seen[e.slot], "two live heap entries share a slot");
+    seen[e.slot] = 1;
+    // Time monotonicity: dispatching any live event may never move the
+    // clock backwards.
+    DAS_AUDIT(e.t >= now_, "live event scheduled in the past");
+    DAS_AUDIT(slots_[e.slot].fn != nullptr, "live event without a callback");
   }
-  DAS_AUDIT(live == pending_ids_.size(),
-            "live-id index out of sync with the heap");
+  DAS_AUDIT(live == live_, "live-event count out of sync with the heap");
+  // Slab accounting: occupied slots are exactly the live events, and the
+  // free list threads through every other slot exactly once.
+  std::size_t occupied = 0;
+  for (const Slot& s : slots_) {
+    if (s.seq != 0) ++occupied;
+  }
+  DAS_AUDIT(occupied == live_, "slab occupancy out of sync with live events");
+  std::size_t free_count = 0;
+  for (std::uint32_t s = free_head_; s != kNoSlot; s = slots_[s].next_free) {
+    DAS_AUDIT(s < slots_.size(), "free list points out of the slab");
+    DAS_AUDIT(slots_[s].seq == 0, "occupied slot on the free list");
+    ++free_count;
+    DAS_AUDIT(free_count <= slots_.size(), "free list cycle");
+  }
+  DAS_AUDIT(occupied + free_count == slots_.size(),
+            "slab slots neither occupied nor free");
   // Compaction runs after every cancel and pop, so dead nodes may exceed
   // live ones only while the queue sits under the compaction floor.
   if (compaction_enabled_) {
@@ -123,26 +122,18 @@ void Simulator::run() {
 
 void Simulator::run_until(SimTime t) {
   DAS_CHECK(t >= now_);
-  for (;;) {
-    Node node;
-    if (!pop_next(node)) break;
-    if (node.t > t) {
-      // Beyond the horizon: re-insert and stop.
-      pending_ids_.insert(node.id);
-      queue_.push_back(std::move(node));
-      std::push_heap(queue_.begin(), queue_.end());
-      break;
-    }
-    now_ = node.t;
+  SimTime event_t = 0;
+  EventFn fn;
+  while (pop_next(t, event_t, fn)) {
+    now_ = event_t;
     ++dispatched_;
-    node.fn();
+    fn();
     maybe_audit();
   }
   now_ = t;
 }
 
-PeriodicProcess::PeriodicProcess(Simulator& sim, Duration period,
-                                 std::function<void()> fn)
+PeriodicProcess::PeriodicProcess(Simulator& sim, Duration period, EventFn fn)
     : sim_(sim), period_(period), fn_(std::move(fn)) {
   DAS_CHECK(period_ > 0);
   DAS_CHECK(fn_ != nullptr);

@@ -9,29 +9,47 @@
 // only — so workloads that cancel almost every timer they set (hedging,
 // retransmission) keep the queue proportional to the live event count.
 // Compaction preserves the (t, seq) dispatch order exactly.
+//
+// Storage is split for throughput: the heap itself holds 24-byte POD entries
+// {t, seq, slot} (sift operations are raw copies, no callable moves), and
+// callbacks live in a slab of pooled slots recycled through a free list — no
+// per-event allocation once the slab has grown to the high-water mark. A
+// slot's current sequence number doubles as the liveness test: an EventHandle
+// (and a heap entry) names {slot, seq}, and cancel/fire bumps the slot's seq
+// to 0, so stale handles and dead heap entries are recognized by a single
+// integer compare instead of a hash-set lookup per event.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/invariant.hpp"
+#include "common/small_fn.hpp"
 #include "common/types.hpp"
 
 namespace das::sim {
+
+/// Event callback. The inline capacity is sized for the largest hot-path
+/// closure (the cluster's per-op send capture, an OpContext plus pointers);
+/// anything bigger falls back to the heap rather than failing to compile.
+using EventFn = SmallFn<192>;
 
 /// Opaque ticket for a scheduled event; valid until the event fires or is
 /// cancelled. Default-constructed handles refer to no event.
 class EventHandle {
  public:
   EventHandle() = default;
-  bool valid() const { return id_ != 0; }
+  bool valid() const { return seq_ != 0; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  EventHandle(std::uint32_t slot, std::uint64_t seq) : slot_(slot), seq_(seq) {}
+  std::uint32_t slot_ = 0;
+  std::uint64_t seq_ = 0;  // 0 = no event (sequence numbers start at 1)
 };
 
 class Simulator : public Auditable {
@@ -43,15 +61,48 @@ class Simulator : public Auditable {
   /// Current simulated time. Monotonically non-decreasing.
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (>= now()).
-  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `t` (>= now()). The EventFn overload
+  /// serves pre-built callbacks (and rejects null ones); the template
+  /// overload constructs a plain closure directly in its pooled slot, so the
+  /// capture moves exactly once, call site -> slab.
+  EventHandle schedule_at(SimTime t, EventFn fn) {
+    DAS_CHECK(fn != nullptr);
+    return schedule_impl(t, std::move(fn));
+  }
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                            std::is_invocable_v<std::remove_cvref_t<F>&>>>
+  EventHandle schedule_at(SimTime t, F&& fn) {
+    return schedule_impl(t, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after `delay` (>= 0) from now.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  EventHandle schedule_after(Duration delay, EventFn fn) {
+    DAS_CHECK(fn != nullptr);
+    DAS_CHECK_MSG(delay >= 0, "delay must be non-negative");
+    return schedule_impl(now_ + delay, std::move(fn));
+  }
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                            std::is_invocable_v<std::remove_cvref_t<F>&>>>
+  EventHandle schedule_after(Duration delay, F&& fn) {
+    DAS_CHECK_MSG(delay >= 0, "delay must be non-negative");
+    return schedule_impl(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event. Cancelling an already-fired, already-cancelled
-  /// or invalid handle is a harmless no-op (idempotent).
-  void cancel(EventHandle h);
+  /// or invalid handle is a harmless no-op (idempotent). A handle is live iff
+  /// its slot still carries the same sequence number; fired and cancelled
+  /// events moved the slot on (or freed it), so stale and foreign handles
+  /// fail the compare. The heap entry stays behind as a dead node, skipped
+  /// lazily at pop time.
+  void cancel(EventHandle h) {
+    if (!h.valid()) return;
+    if (h.slot_ >= slots_.size() || slots_[h.slot_].seq != h.seq_) return;
+    release_slot(h.slot_);
+    --live_;
+    maybe_compact();
+  }
 
   /// Runs until the queue is empty.
   void run();
@@ -63,8 +114,8 @@ class Simulator : public Auditable {
   /// Dispatches at most one event; returns false if the queue was empty.
   bool step();
 
-  bool empty() const { return pending_ids_.empty(); }
-  std::size_t pending() const { return pending_ids_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t pending() const { return live_; }
   std::uint64_t events_dispatched() const { return dispatched_; }
 
   /// --- lazy-cancel heap compaction ------------------------------------------
@@ -78,6 +129,10 @@ class Simulator : public Auditable {
   /// either way.
   void set_compaction_enabled(bool enabled) { compaction_enabled_ = enabled; }
   bool compaction_enabled() const { return compaction_enabled_; }
+
+  /// Pooled callback slots currently allocated (the slab's high-water mark;
+  /// introspection for tests — steady-state runs stop growing it).
+  std::size_t slab_slots() const { return slots_.size(); }
 
   /// --- invariant auditing ---------------------------------------------------
   /// Registers a component to audit alongside the simulator itself. The
@@ -97,48 +152,114 @@ class Simulator : public Auditable {
   void audit_now() const;
 
   /// Simulator-local invariants: the heap is a heap, no live event is
-  /// scheduled in the past, the live-id index matches the heap contents, and
-  /// (when compaction is enabled) dead nodes never outnumber live ones once
-  /// the queue is past the compaction floor.
+  /// scheduled in the past, heap entries and slab slots describe the same
+  /// live set, the free list is consistent with it, and (when compaction is
+  /// enabled) dead nodes never outnumber live ones once the queue is past
+  /// the compaction floor.
   void check_invariants() const override;
 
  private:
-  struct Node {
+  /// POD heap node: sift operations copy 24 bytes and never touch the
+  /// callback. `seq` snapshots the slot's sequence number at scheduling
+  /// time; the entry is dead iff the slot has since moved on.
+  struct HeapEntry {
     SimTime t;
     std::uint64_t seq;
-    std::uint64_t id;
-    std::function<void()> fn;
-    // Min-heap by (t, seq): std::priority_queue is a max-heap, so invert.
-    bool operator<(const Node& other) const {
+    std::uint32_t slot;
+    // Min-heap by (t, seq): std::push_heap builds a max-heap, so invert.
+    bool operator<(const HeapEntry& other) const {
       if (t != other.t) return t > other.t;
       return seq > other.seq;
     }
   };
 
-  /// Pops skipping cancelled events; returns false when drained.
-  bool pop_next(Node& out);
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// One pooled callback. `seq` == 0 marks a free slot (then `next_free`
+  /// chains the free list).
+  struct Slot {
+    EventFn fn;
+    std::uint64_t seq = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  bool entry_live(const HeapEntry& e) const { return slots_[e.slot].seq == e.seq; }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      return slot;
+    }
+    DAS_CHECK_MSG(slots_.size() < kNoSlot, "event slab exhausted");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  /// Destroys the slot's callback and returns it to the free list.
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.fn = nullptr;  // destroy the callback now, releasing its captures
+    s.seq = 0;
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  template <typename F>
+  EventHandle schedule_impl(SimTime t, F&& fn) {
+    DAS_CHECK_MSG(t >= now_, "cannot schedule into the past");
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    try {
+      s.fn = std::forward<F>(fn);
+    } catch (...) {
+      // The callable's own copy/move threw (or its heap fallback failed);
+      // the slot is still marked free (seq 0), so just rechain it.
+      release_slot(slot);
+      throw;
+    }
+    s.seq = seq;
+    queue_.push_back(HeapEntry{t, seq, slot});
+    std::push_heap(queue_.begin(), queue_.end());
+    ++live_;
+    // Growth can carry the queue across the compaction floor with a backlog
+    // of dead nodes accumulated while it was too small to bother compacting.
+    maybe_compact();
+    return EventHandle{slot, seq};
+  }
+
+  /// Pops the next live event with t <= horizon, moving its callback into
+  /// `fn` and its timestamp into `t_out`. Dead heap entries encountered on
+  /// the way are dropped. Returns false when drained or when the next live
+  /// event lies beyond the horizon (which it peeks without disturbing).
+  bool pop_next(SimTime horizon, SimTime& t_out, EventFn& fn);
 
   /// Rebuilds the heap from its live nodes when dead ones outnumber them.
   /// Called after every operation that can raise the dead fraction (cancel
   /// and pop), so the dead <= live bound in check_invariants() always holds.
-  void maybe_compact();
+  /// The threshold test is inline (three loads on the hot path); the rebuild
+  /// itself is out of line.
+  void maybe_compact() {
+    if (!compaction_enabled_ || queue_.size() < kCompactionFloor) return;
+    if ((queue_.size() - live_) * 2 <= queue_.size()) return;
+    compact();
+  }
+  void compact();
 
   /// Below this many heap nodes compaction never triggers: rebuilding a tiny
   /// heap saves nothing and the invariant bound would be noisy.
   static constexpr std::size_t kCompactionFloor = 64;
 
-  // Binary heap managed with std::push_heap/std::pop_heap; a raw vector lets
-  // us move the std::function out of the popped node. pending_ids_ holds the
-  // ids of live (scheduled, not yet fired or cancelled) events: cancel()
-  // erases from it and pop_next() skips heap nodes whose id is absent.
   /// Runs the cadence audit when one is due.
   void maybe_audit() const;
 
-  std::vector<Node> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;
+  std::vector<HeapEntry> queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 1;  // 0 is the invalid-handle sentinel
   std::uint64_t dispatched_ = 0;
   std::uint64_t compactions_ = 0;
   bool compaction_enabled_ = true;
@@ -154,7 +275,7 @@ class Simulator : public Auditable {
 /// schedule (exactly one chain of events ever exists).
 class PeriodicProcess {
  public:
-  PeriodicProcess(Simulator& sim, Duration period, std::function<void()> fn);
+  PeriodicProcess(Simulator& sim, Duration period, EventFn fn);
   ~PeriodicProcess();
   PeriodicProcess(const PeriodicProcess&) = delete;
   PeriodicProcess& operator=(const PeriodicProcess&) = delete;
@@ -168,7 +289,7 @@ class PeriodicProcess {
 
   Simulator& sim_;
   Duration period_;
-  std::function<void()> fn_;
+  EventFn fn_;
   EventHandle pending_;
   bool running_ = false;
 };

@@ -55,11 +55,53 @@ TEST(Flags, UnknownFlagRejected) {
   EXPECT_NE(error.find("laod"), std::string::npos);
 }
 
+// The error text is part of the contract: scripts and humans both match on
+// it, so it must be deterministic and name the offending flag.
+TEST(Flags, UnknownDasFlagNamedInError) {
+  Flags flags;
+  flags.define("das-defer-margin", "2", "");
+  std::string error;
+  EXPECT_FALSE(parse(flags, {"--das_defer_margin=3"}, &error));
+  EXPECT_EQ(error, "unknown flag: --das_defer_margin");
+}
+
 TEST(Flags, MissingValueRejected) {
   Flags flags;
   flags.define("servers", "32", "");
   std::string error;
   EXPECT_FALSE(parse(flags, {"--servers"}, &error));
+  EXPECT_EQ(error, "flag --servers needs a value");
+}
+
+TEST(Flags, DuplicateFlagRejected) {
+  Flags flags;
+  flags.define("load", "0.7", "");
+  std::string error;
+  EXPECT_FALSE(parse(flags, {"--load=0.5", "--load=0.9"}, &error));
+  EXPECT_EQ(error, "duplicate flag: --load");
+  // Mixed forms collide too: --load 0.5 then --load=0.9.
+  Flags flags2;
+  flags2.define("load", "0.7", "");
+  EXPECT_FALSE(parse(flags2, {"--load", "0.5", "--load=0.9"}, &error));
+  EXPECT_EQ(error, "duplicate flag: --load");
+}
+
+TEST(Flags, RepeatedBooleanRejected) {
+  Flags flags;
+  flags.define("verbose", "false", "");
+  std::string error;
+  EXPECT_FALSE(parse(flags, {"--verbose", "--verbose"}, &error));
+  EXPECT_EQ(error, "duplicate flag: --verbose");
+}
+
+TEST(Flags, DistinctFlagsDoNotCollide) {
+  Flags flags;
+  flags.define("load", "0.7", "");
+  flags.define("servers", "32", "");
+  std::string error;
+  ASSERT_TRUE(parse(flags, {"--load=0.5", "--servers=8"}, &error));
+  EXPECT_DOUBLE_EQ(flags.get_double("load"), 0.5);
+  EXPECT_EQ(flags.get_int("servers"), 8);
 }
 
 TEST(Flags, PositionalsCollected) {

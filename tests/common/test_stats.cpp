@@ -101,6 +101,32 @@ TEST(LogHistogram, QuantileOnEmptyThrows) {
   EXPECT_THROW(h.quantile(0.5), std::logic_error);
 }
 
+// The empty-input behavior is pinned: a fixed, deterministic message (tools
+// and tests match on it), thrown for every quantile order including the
+// p50/p99 shorthands.
+TEST(LogHistogram, EmptyQuantileMessageIsDeterministic) {
+  LogHistogram h;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    try {
+      h.quantile(q);
+      FAIL() << "quantile(" << q << ") on empty histogram did not throw";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string{e.what()}.find("quantile of empty histogram"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  EXPECT_THROW(h.p50(), std::logic_error);
+  EXPECT_THROW(h.p999(), std::logic_error);
+}
+
+TEST(LogHistogram, OutOfRangeQuantileOrderThrows) {
+  LogHistogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.quantile(-0.01), std::logic_error);
+  EXPECT_THROW(h.quantile(1.01), std::logic_error);
+}
+
 TEST(LogHistogram, BelowRangeClampsToFirstBucket) {
   LogHistogram h{1.0, 100.0, 1.05};
   h.add(0.001);
@@ -190,6 +216,11 @@ TEST(LatencyRecorder, EmptySummaryIsZeroed) {
   const LatencySummary s = rec.summary();
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.p999, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
 }
 
 TEST(LatencyRecorder, MergeCombines) {

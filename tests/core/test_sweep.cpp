@@ -272,5 +272,52 @@ TEST(HeapCompaction, AuditedHedgedRunStaysClean) {
   EXPECT_GT(cluster.simulator().audits_run(), 0u);
 }
 
+// --- parse_load_list: the --sweep-loads grid spec -------------------------
+
+TEST(ParseLoadList, ParsesWellFormedList) {
+  EXPECT_EQ(parse_load_list("0.3,0.5,0.8"),
+            (std::vector<double>{0.3, 0.5, 0.8}));
+  EXPECT_EQ(parse_load_list("0.7"), (std::vector<double>{0.7}));
+}
+
+TEST(ParseLoadList, EmptySpecRejected) {
+  EXPECT_THROW(parse_load_list(""), std::invalid_argument);
+}
+
+TEST(ParseLoadList, MalformedTokenNamedInError) {
+  try {
+    parse_load_list("0.3,abc,0.8");
+    FAIL() << "malformed token accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "malformed load 'abc' in load list");
+  }
+}
+
+TEST(ParseLoadList, TrailingJunkRejected) {
+  try {
+    parse_load_list("0.5x");
+    FAIL() << "trailing junk accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "malformed load '0.5x' in load list");
+  }
+}
+
+TEST(ParseLoadList, EmptyElementsRejected) {
+  // Double comma, leading comma, trailing comma: all are empty elements a
+  // shell-quoting slip produces; none may silently shrink the grid.
+  EXPECT_THROW(parse_load_list("0.3,,0.8"), std::invalid_argument);
+  EXPECT_THROW(parse_load_list(",0.5"), std::invalid_argument);
+  EXPECT_THROW(parse_load_list("0.5,"), std::invalid_argument);
+}
+
+TEST(ParseLoadList, OutOfRangeLoadRejected) {
+  EXPECT_THROW(parse_load_list("0.5,1.0"), std::invalid_argument);
+  EXPECT_THROW(parse_load_list("0"), std::invalid_argument);
+  EXPECT_THROW(parse_load_list("-0.3"), std::invalid_argument);
+  EXPECT_THROW(parse_load_list("1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_load_list("nan"), std::invalid_argument);
+  EXPECT_THROW(parse_load_list("inf"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace das::core

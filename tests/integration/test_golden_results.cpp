@@ -1,0 +1,130 @@
+// Golden pinned-results regression: a fixed-seed E1-style grid (the five
+// headline policies x loads {0.5, 0.8}) must reproduce EXACT pinned numbers.
+//
+// The determinism suite (test_determinism.cpp) proves two runs in the same
+// build agree bit-for-bit; this test pins the values themselves, so any
+// behaviour drift introduced by a refactor — container iteration order leaking
+// into scheduling, an RNG consumed in a different order, a changed tie-break
+// — fails loudly instead of silently shifting every published figure. The
+// same table also protects every FUTURE refactor of the hot path. The
+// engine-overhaul PR's hard constraint ("bit-identical ExperimentResult
+// before vs after") is enforced exactly here: the table below was generated
+// by the pre-overhaul engine.
+//
+// Updating the table (ONLY after an intentional behaviour change, with the
+// diff explained in the PR):
+//
+//   DAS_REGEN_GOLDEN=1 ./build/tests/test_integration
+//       --gtest_filter='GoldenResults.*' 2>/dev/null   (one command line)
+//
+// and paste the printed rows over kGolden below. Values are printed with
+// %.17g, which round-trips doubles exactly, so EXPECT_EQ on the parsed
+// literals is bit-exact.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+
+namespace das::core {
+namespace {
+
+struct GoldenCase {
+  sched::Policy policy;
+  double load;
+};
+
+struct GoldenRow {
+  sched::Policy policy;
+  double load;
+  std::uint64_t requests_measured;
+  double mean_rct_us;
+  double p99_us;
+};
+
+// The five headline policies of the paper's figures (bench_common's
+// headline_policies()), at a moderate and a high load.
+constexpr GoldenCase kGrid[] = {
+    {sched::Policy::kFcfs, 0.5},    {sched::Policy::kFcfs, 0.8},
+    {sched::Policy::kSjf, 0.5},     {sched::Policy::kSjf, 0.8},
+    {sched::Policy::kReqSrpt, 0.5}, {sched::Policy::kReqSrpt, 0.8},
+    {sched::Policy::kReinSbf, 0.5}, {sched::Policy::kReinSbf, 0.8},
+    {sched::Policy::kDas, 0.5},     {sched::Policy::kDas, 0.8},
+};
+
+ClusterConfig golden_config(sched::Policy policy, double load) {
+  ClusterConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_clients = 2;
+  cfg.keys_per_server = 200;
+  cfg.zipf_theta = 0.9;
+  cfg.load_calibration = LoadCalibration::kHottestServer;
+  cfg.target_load = load;
+  cfg.policy = policy;
+  cfg.seed = 20260805;
+  return cfg;
+}
+
+RunWindow golden_window() {
+  RunWindow w;
+  w.warmup_us = 2.0 * kMillisecond;
+  w.measure_us = 20.0 * kMillisecond;
+  return w;
+}
+
+const char* policy_token(sched::Policy policy) {
+  switch (policy) {
+    case sched::Policy::kFcfs: return "sched::Policy::kFcfs";
+    case sched::Policy::kSjf: return "sched::Policy::kSjf";
+    case sched::Policy::kReqSrpt: return "sched::Policy::kReqSrpt";
+    case sched::Policy::kReinSbf: return "sched::Policy::kReinSbf";
+    case sched::Policy::kDas: return "sched::Policy::kDas";
+    default: return "sched::Policy::kFcfs";
+  }
+}
+
+// Pinned by the pre-overhaul engine (see the regen instructions above).
+const GoldenRow kGolden[] = {
+    // clang-format off
+    {sched::Policy::kFcfs, 0.50, 238u, 111.7815549937673, 411.93545138558216},
+    {sched::Policy::kFcfs, 0.80, 409u, 234.13564971657101, 771.03788468444714},
+    {sched::Policy::kSjf, 0.50, 238u, 115.89562849463877, 538.89761471378563},
+    {sched::Policy::kSjf, 0.80, 409u, 274.25575052204283, 1743.5257573947529},
+    {sched::Policy::kReqSrpt, 0.50, 238u, 99.653541968123918, 468.82096919418495},
+    {sched::Policy::kReqSrpt, 0.80, 409u, 159.21952965601406, 786.5357461666041},
+    {sched::Policy::kReinSbf, 0.50, 238u, 101.95866451283365, 589.38438469719779},
+    {sched::Policy::kReinSbf, 0.80, 409u, 176.83738478890336, 1346.0855100626377},
+    {sched::Policy::kDas, 0.50, 238u, 100.2852144744184, 468.82096919418495},
+    {sched::Policy::kDas, 0.80, 409u, 163.36876977997159, 1136.6043007220296},
+    // clang-format on
+};
+
+TEST(GoldenResults, PinnedGridIsBitExact) {
+  if (std::getenv("DAS_REGEN_GOLDEN") != nullptr) {
+    for (const GoldenCase& c : kGrid) {
+      const ExperimentResult r =
+          run_experiment(golden_config(c.policy, c.load), golden_window());
+      std::printf("    {%s, %.2f, %lluu, %.17g, %.17g},\n", policy_token(c.policy),
+                  c.load, static_cast<unsigned long long>(r.requests_measured),
+                  r.rct.mean, r.rct.p99);
+    }
+    GTEST_SKIP() << "DAS_REGEN_GOLDEN set: printed fresh rows, skipped the "
+                    "comparison";
+  }
+  ASSERT_EQ(std::size(kGolden), std::size(kGrid))
+      << "golden table incomplete — regenerate with DAS_REGEN_GOLDEN=1";
+  for (const GoldenRow& row : kGolden) {
+    SCOPED_TRACE(std::string(sched::to_string(row.policy)) +
+                 " @ load=" + std::to_string(row.load));
+    const ExperimentResult r =
+        run_experiment(golden_config(row.policy, row.load), golden_window());
+    EXPECT_EQ(r.requests_measured, row.requests_measured);
+    // Exact equality on purpose: these are pinned bits, not approximations.
+    EXPECT_EQ(r.rct.mean, row.mean_rct_us);
+    EXPECT_EQ(r.rct.p99, row.p99_us);
+  }
+}
+
+}  // namespace
+}  // namespace das::core

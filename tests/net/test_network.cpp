@@ -151,6 +151,38 @@ TEST(Network, InvalidLossProbabilityRejected) {
   EXPECT_THROW((Network{sim, cfg, Rng{1}}), std::logic_error);
 }
 
+// The delivery callback must move through send() and the event queue, never
+// copy: a copy would double the captured per-op state (an OpContext on the
+// cluster path) on every message. Counted end to end: call site -> EventFn
+// -> scheduler slot -> dispatch.
+TEST(Network, DeliveryCallbackIsMovedNotCopied) {
+  struct Probe {
+    int* copies;
+    int* moves;
+    int* invoked;
+    Probe(int* c, int* m, int* i) : copies(c), moves(m), invoked(i) {}
+    Probe(const Probe& o)
+        : copies(o.copies), moves(o.moves), invoked(o.invoked) {
+      ++*copies;
+    }
+    Probe(Probe&& o) noexcept
+        : copies(o.copies), moves(o.moves), invoked(o.invoked) {
+      ++*moves;
+    }
+    void operator()() const { ++*invoked; }
+  };
+  sim::Simulator sim;
+  Network net = make_net(sim, make_constant_latency(1.0));
+  int copies = 0, moves = 0, invoked = 0;
+  net.send(0, 1, 8, Probe{&copies, &moves, &invoked});
+  sim.run();
+  EXPECT_EQ(invoked, 1);
+  EXPECT_EQ(copies, 0);
+  // Bounded hand-offs: into the EventFn, through schedule, into the pooled
+  // slot, out at dispatch. A regression to by-value plumbing shows up here.
+  EXPECT_LE(moves, 4);
+}
+
 TEST(Network, ZeroLatencyDeliversImmediatelyInOrder) {
   sim::Simulator sim;
   Network net = make_net(sim, make_constant_latency(0.0));

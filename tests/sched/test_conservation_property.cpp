@@ -1,0 +1,174 @@
+// Property-based conservation audit, every policy, randomized op streams.
+//
+// The schedulers' core contract is conservation: every admitted operation is
+// either still queued or has been served exactly once — nothing is lost,
+// duplicated, or invented, no matter how enqueues, dequeues, progress
+// re-rankings and speed updates interleave. This test drives each policy
+// with many randomized streams and re-checks the contract plus the full
+// structural audit (check_invariants) after EVERY step, so a violation
+// pinpoints the exact (policy, seed, step) that introduced it.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/scheduler.hpp"
+#include "sched_test_util.hpp"
+
+namespace das::sched {
+namespace {
+
+using testing::OpBuilder;
+
+struct StreamState {
+  SimTime now = 0;
+  OperationId next_op = 1;
+  std::unordered_set<OperationId> queued;
+  std::unordered_set<OperationId> served;
+  std::unordered_map<OperationId, RequestId> request_of;
+  std::size_t admitted = 0;
+};
+
+OpContext random_op(StreamState& st, Rng& rng) {
+  const OperationId id = st.next_op++;
+  // A small request pool makes progress updates fan into several queued ops.
+  const RequestId req = 1 + rng.next_u64() % 8;
+  const double demand = rng.uniform(1.0, 80.0);
+  const double total = demand + rng.uniform(0.0, 200.0);
+  OpContext op = OpBuilder{id}
+                     .request(req)
+                     .demand(demand)
+                     .total(total)
+                     .critical(rng.uniform(demand, total))
+                     .deadline(st.now + rng.uniform(10.0, 2000.0))
+                     .build();
+  // Half the ops have siblings elsewhere (exercises DAS deferral), half not.
+  if (rng.chance(0.5)) {
+    op.est_other_completion = st.now + rng.uniform(1.0, 4000.0);
+  }
+  return op;
+}
+
+void check_conservation(Scheduler& s, const StreamState& st) {
+  // admitted == served + queued, and the scheduler agrees on the queue size.
+  ASSERT_EQ(st.admitted, st.served.size() + st.queued.size());
+  ASSERT_EQ(s.size(), st.queued.size());
+  ASSERT_EQ(s.empty(), st.queued.empty());
+  ASSERT_NO_THROW(s.check_invariants());
+}
+
+void run_stream(Policy policy, const SchedulerConfig& config,
+                std::uint64_t seed, int steps) {
+  SchedulerPtr s = make_scheduler(policy, config);
+  Rng rng{seed};
+  StreamState st;
+  for (int step = 0; step < steps; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    st.now += rng.uniform(0.0, 40.0);  // time never runs backwards
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.45) {
+      const OpContext op = random_op(st, rng);
+      st.request_of[op.op_id] = op.request_id;
+      s->enqueue(op, st.now);
+      st.queued.insert(op.op_id);
+      ++st.admitted;
+    } else if (roll < 0.80) {
+      if (!s->empty()) {
+        const OpContext out = s->dequeue(st.now);
+        // Served op must have been admitted, still queued, never served.
+        ASSERT_TRUE(st.queued.erase(out.op_id) == 1)
+            << "op " << out.op_id << " served but not queued";
+        ASSERT_TRUE(st.served.insert(out.op_id).second)
+            << "op " << out.op_id << " served twice";
+        ASSERT_EQ(out.request_id, st.request_of.at(out.op_id));
+      }
+    } else if (roll < 0.90) {
+      // Progress message for a random request: re-keys its queued ops.
+      ProgressUpdate update;
+      update.remaining_critical_us = rng.uniform(0.0, 300.0);
+      update.remaining_total_us =
+          update.remaining_critical_us + rng.uniform(0.0, 300.0);
+      if (rng.chance(0.7)) {
+        update.est_other_completion = st.now + rng.uniform(0.0, 4000.0);
+      }
+      s->on_request_progress(1 + rng.next_u64() % 8, update, st.now);
+    } else if (roll < 0.95) {
+      s->on_speed_estimate(rng.uniform(0.25, 4.0));
+    } else {
+      if (!s->empty()) {
+        // Preemption queries are pure; they must not disturb the queue.
+        const OpContext probe = random_op(st, rng);
+        --st.next_op;  // probe was never admitted
+        (void)s->preempts(probe, probe);
+      }
+    }
+    check_conservation(*s, st);
+  }
+  // Drain: everything admitted comes out exactly once.
+  while (!s->empty()) {
+    st.now += rng.uniform(0.0, 40.0);
+    const OpContext out = s->dequeue(st.now);
+    ASSERT_TRUE(st.queued.erase(out.op_id) == 1);
+    ASSERT_TRUE(st.served.insert(out.op_id).second);
+    check_conservation(*s, st);
+  }
+  ASSERT_EQ(st.served.size(), st.admitted);
+  ASSERT_NO_THROW(s->check_invariants());
+}
+
+TEST(SchedulerConservationProperty, AllPoliciesManySeeds) {
+  for (const Policy policy : all_policies()) {
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      SCOPED_TRACE("policy " + to_string(policy) + " seed " +
+                   std::to_string(seed));
+      run_stream(policy, SchedulerConfig{}, seed, 400);
+    }
+  }
+}
+
+// Tight aging bound: the starvation path (serve the oldest unconditionally)
+// fires constantly instead of almost never.
+TEST(SchedulerConservationProperty, DasWithAggressiveAging) {
+  SchedulerConfig config;
+  config.max_wait_us = 50.0;  // vs the ~20us mean step, ages most ops
+  for (std::uint64_t seed = 101; seed <= 108; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_stream(Policy::kDas, config, seed, 400);
+    run_stream(Policy::kReinSbf, config, seed, 400);
+  }
+}
+
+// Degenerate streams: all ops of one request, and all ops identical. Equal
+// keys everywhere stresses tie-breaking and the order-set erase paths.
+TEST(SchedulerConservationProperty, DegenerateStreams) {
+  for (const Policy policy : all_policies()) {
+    SCOPED_TRACE("policy " + to_string(policy));
+    SchedulerPtr s = make_scheduler(policy, SchedulerConfig{});
+    SimTime now = 0;
+    for (OperationId id = 1; id <= 64; ++id) {
+      s->enqueue(OpBuilder{id}.request(1).demand(10.0).total(10.0).build(),
+                 now);
+      now += 1.0;
+      ASSERT_NO_THROW(s->check_invariants());
+    }
+    ProgressUpdate update;
+    update.remaining_total_us = 5.0;
+    update.remaining_critical_us = 5.0;
+    s->on_request_progress(1, update, now);
+    ASSERT_NO_THROW(s->check_invariants());
+    std::set<OperationId> seen;
+    while (!s->empty()) {
+      now += 1.0;
+      ASSERT_TRUE(seen.insert(s->dequeue(now).op_id).second);
+      ASSERT_NO_THROW(s->check_invariants());
+    }
+    EXPECT_EQ(seen.size(), 64u);
+  }
+}
+
+}  // namespace
+}  // namespace das::sched

@@ -5,6 +5,7 @@
 //   ./build/tools/dassim --policy=das,fcfs --stragglers=0.25 --straggler-speed=0.5
 //   ./build/tools/dassim --sweep --jobs=4 --json=BENCH_sweep.json
 //   ./build/tools/dassim --policy=das --trace=trace.json --breakdown
+//   ./build/tools/dassim --perf --perf-json=BENCH_PERF.json
 //
 // Prints one row per policy; --format=csv emits machine-readable output for
 // plotting scripts. --sweep runs a (load grid x policy) sweep across a
@@ -15,12 +16,14 @@
 #include <chrono>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "core/bench_json.hpp"
 #include "core/experiment.hpp"
+#include "core/perf.hpp"
 #include "core/sweep.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/tracer.hpp"
@@ -40,22 +43,13 @@ std::vector<sched::Policy> parse_policies(const std::string& spec) {
   return out;
 }
 
-std::vector<double> parse_loads(const std::string& spec) {
-  std::vector<double> out;
-  std::istringstream is{spec};
-  std::string token;
-  while (std::getline(is, token, ',')) out.push_back(std::stod(token));
-  DAS_CHECK_MSG(!out.empty(), "no sweep loads given");
-  return out;
-}
-
 /// --sweep: the (load x policy) grid, fanned out over a thread pool. All
 /// stdout output is deterministic (bit-identical across --jobs values); the
 /// wall-clock line goes to stderr.
 int run_sweep(const core::ClusterConfig& base, const core::RunWindow& window,
               const std::vector<sched::Policy>& policies, const Flags& flags) {
   const std::string experiment = flags.get_string("experiment");
-  const auto loads = parse_loads(flags.get_string("sweep-loads"));
+  const auto loads = core::parse_load_list(flags.get_string("sweep-loads"));
   const auto jobs_flag = flags.get_int("jobs");
   const std::size_t jobs = jobs_flag <= 0 ? core::SweepRunner::default_jobs()
                                           : static_cast<std::size_t>(jobs_flag);
@@ -190,6 +184,12 @@ int main(int argc, char** argv) {
                "maximum retained trace events (overflow counted, not kept)");
   flags.define("breakdown", "false",
                "print the exact per-component RCT attribution per policy");
+  flags.define("perf", "false",
+               "run the engine throughput suite (events/sec) instead of an "
+               "experiment and write --perf-json");
+  flags.define("perf-scale", "1", "event-budget multiplier for --perf");
+  flags.define("perf-json", "BENCH_PERF.json",
+               "where --perf writes its schema_version-2 JSON ('' = skip)");
   flags.define("help", "false", "show this help");
 
   std::string error;
@@ -200,6 +200,32 @@ int main(int argc, char** argv) {
   }
   if (flags.get_bool("help")) {
     flags.print_help(std::cout, "dassim");
+    return 0;
+  }
+
+  if (flags.get_bool("perf")) {
+    core::PerfOptions options;
+    options.scale = flags.get_double("perf-scale");
+    if (options.scale <= 0) {
+      std::cerr << "--perf-scale must be positive\n";
+      return 2;
+    }
+    const std::vector<core::PerfPoint> points = core::run_perf_suite(options);
+    Table table{{"point", "events", "wall (s)", "events/sec", "sim time (ms)"}};
+    for (const core::PerfPoint& p : points) {
+      table.add_row({p.point, std::to_string(p.events),
+                     Table::fmt(p.wall_seconds, 3),
+                     Table::fmt(p.events_per_sec, 0),
+                     Table::fmt(p.sim_time_us / 1000.0, 1)});
+    }
+    std::cout << "== engine throughput (scale "
+              << flags.get_string("perf-scale") << ") ==\n";
+    table.print(std::cout);
+    const std::string perf_json = flags.get_string("perf-json");
+    if (!perf_json.empty()) {
+      core::write_perf_json(perf_json, "perf_throughput", points);
+      std::cerr << "wrote " << perf_json << "\n";
+    }
     return 0;
   }
 
@@ -274,6 +300,9 @@ int main(int argc, char** argv) {
     }
     try {
       return run_sweep(cfg, window, policies, flags);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n";  // malformed grid spec = usage error
+      return 2;
     } catch (const std::exception& e) {
       std::cerr << e.what() << "\n";
       return 1;
