@@ -139,6 +139,11 @@ double Collector::metric_value(const core::ExperimentResult& r,
   if (metric == "reranks") return static_cast<double>(r.reranks_applied);
   if (metric == "bd_deferred_wait") return r.breakdown.mean_deferred_wait_us;
   if (metric == "bd_runnable_wait") return r.breakdown.mean_runnable_wait_us;
+  if (metric == "availability") return r.availability;
+  if (metric == "requests_failed") return static_cast<double>(r.requests_failed);
+  if (metric == "failover_ok")
+    return static_cast<double>(r.requests_completed_after_failover);
+  if (metric == "ops_failed_over") return static_cast<double>(r.ops_failed_over);
   DAS_CHECK_MSG(false, "unknown metric: " + metric);
   return 0;
 }

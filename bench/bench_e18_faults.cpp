@@ -1,0 +1,56 @@
+// E18 (extension) — Faults & graceful degradation. Replication 2 with
+// least-delay selection, 2ms retransmission RTO (capped exponential backoff)
+// and timeout-based suspicion, so a crashed, partitioned or gray-failing
+// server is detected from consecutive RTOs and reads fail over to the
+// surviving replica. Every request still completes (availability stays 1.0);
+// what the fault costs is tail latency, and the question is how much of the
+// scheduling gain survives each fault shape.
+#include "bench_common.hpp"
+#include "fault/fault_plan.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.replication = 2;
+  cfg.replica_selection = das::core::ReplicaSelection::kLeastDelay;
+  cfg.retry_timeout_us = 2.0 * das::kMillisecond;
+  cfg.retry_backoff_max_us = 16.0 * das::kMillisecond;
+  const auto window = dasbench::eval_window();
+  const std::vector<das::sched::Policy> policies = {
+      das::sched::Policy::kFcfs, das::sched::Policy::kReinSbf,
+      das::sched::Policy::kDas};
+
+  // All fault windows sit inside the 200ms measurement window (warmup ends
+  // at 30ms), so the degradation they cause is fully observed.
+  const std::pair<const char*, const char*> scenarios[] = {
+      {"none", ""},
+      {"crash", "crash@80ms:s3,recover@150ms:s3"},
+      {"gray", "slow@60ms-180ms:s2:x0.25"},
+      {"partition", "partition@60ms:c0-s1,heal@130ms:c0-s1"},
+  };
+  for (const auto& [name, spec] : scenarios) {
+    cfg.fault_plan = spec[0] == '\0' ? das::fault::FaultPlan{}
+                                     : das::fault::parse_fault_plan(spec);
+    dasbench::register_point("E18_faults", std::string("fault=") + name, cfg,
+                             window, policies);
+  }
+
+  // A denser randomized schedule from the chaos generator: two crash
+  // windows, a slowdown and a partition, deterministically scripted from the
+  // seed so the point is reproducible.
+  das::fault::ChaosOptions chaos;
+  chaos.horizon_us = window.horizon();
+  chaos.num_servers = static_cast<std::uint32_t>(cfg.num_servers);
+  chaos.num_clients = static_cast<std::uint32_t>(cfg.num_clients);
+  chaos.crashes = 2;
+  chaos.slowdowns = 1;
+  chaos.partitions = 1;
+  cfg.fault_plan = das::fault::make_chaos_plan(chaos, 18);
+  dasbench::register_point("E18_faults", "fault=chaos", cfg, window, policies);
+
+  return dasbench::bench_main(argc, argv, "E18_faults",
+                              {{"Mean RCT vs fault scenario", "mean"},
+                               {"p999 RCT vs fault scenario", "p999"},
+                               {"Availability vs fault scenario", "availability"},
+                               {"Ops failed over vs fault scenario",
+                                "ops_failed_over"}});
+}

@@ -59,7 +59,7 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
     return 0.0;
   };
 
-  os << "{\n  \"schema_version\": 2,\n  \"experiment\": ";
+  os << "{\n  \"schema_version\": 3,\n  \"experiment\": ";
   json_string(os, experiment);
   os << ",\n  \"points\": [";
   bool first = true;
@@ -101,6 +101,21 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
     bd_field("deferred_wait_us", r.breakdown.mean_deferred_wait_us);
     bd_field("service_us", r.breakdown.mean_service_us);
     bd_field("straggler_slack_us", r.breakdown.mean_straggler_slack_us);
+    os << "\n      }";
+    os << ",\n      \"degradation\": {\n        \"availability\": ";
+    json_double(os, r.availability);
+    os << ",\n        \"requests_completed\": " << r.requests_completed;
+    os << ",\n        \"requests_failed\": " << r.requests_failed;
+    os << ",\n        \"requests_completed_after_failover\": "
+       << r.requests_completed_after_failover;
+    os << ",\n        \"ops_failed_over\": " << r.ops_failed_over;
+    os << ",\n        \"ops_abandoned\": " << r.ops_abandoned;
+    os << ",\n        \"suspicions_raised\": " << r.suspicions_raised;
+    os << ",\n        \"ops_dropped_crashed\": " << r.ops_dropped_crashed;
+    os << ",\n        \"server_crashes\": " << r.server_crashes;
+    os << ",\n        \"server_recoveries\": " << r.server_recoveries;
+    os << ",\n        \"messages_dropped_partition\": "
+       << r.net_messages_dropped_partition;
     os << "\n      }";
     const double fcfs = fcfs_mean(row.point);
     os << ",\n      \"gain_vs_fcfs_pct\": ";

@@ -2,10 +2,10 @@
 //
 // Every bench (and dassim --sweep) can persist its sweep as
 // BENCH_<experiment>.json so the perf trajectory is machine-readable instead
-// of living only in printed tables. Schema (schema_version 2):
+// of living only in printed tables. Schema (schema_version 3):
 //
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "experiment": "E1_load_mean",
 //     "points": [
 //       {
@@ -21,14 +21,26 @@
 //           "runnable_wait_us": ..., "deferred_wait_us": ...,
 //           "service_us": ..., "straggler_slack_us": ...
 //         },
+//         "degradation": {           // fault-layer accounting; all zeros /
+//           "availability": ...,     // availability 1.0 for fault-free runs
+//           "requests_completed": ..., "requests_failed": ...,
+//           "requests_completed_after_failover": ...,
+//           "ops_failed_over": ..., "ops_abandoned": ...,
+//           "suspicions_raised": ..., "ops_dropped_crashed": ...,
+//           "server_crashes": ..., "server_recoveries": ...,
+//           "messages_dropped_partition": ...
+//         },
 //         "gain_vs_fcfs_pct": ...,   // null when the point has no FCFS row
 //         "wall_seconds": ...        // NOT deterministic; everything else is
 //       }, ...
 //     ]
 //   }
 //
-// schema_version history: 2 added the mechanism counters and the per-point
-// "breakdown" object (PR 3); 1 was the initial shape.
+// schema_version history: 3 added the per-point "degradation" object (fault
+// plans, failover and graceful-degradation accounting); 2 added the
+// mechanism counters and the per-point "breakdown" object (PR 3); 1 was the
+// initial shape. (The perf emitter below stays at schema_version 2 — its
+// shape did not change.)
 //
 // Points appear in registration order; all fields except wall_seconds are
 // bit-reproducible for a fixed seed, so diffs of two emissions reveal real

@@ -30,6 +30,12 @@ Client::Client(sim::Simulator& sim, Params params, Rng rng,
   DAS_CHECK(params_.ewma_alpha > 0 && params_.ewma_alpha <= 1);
   d_est_.assign(params_.num_servers, 0.0);
   mu_est_.assign(params_.num_servers, 1.0);
+  rto_strikes_.assign(params_.num_servers, 0);
+  suspected_.assign(params_.num_servers, 0);
+  // Fork the jitter stream off a COPY so the workload stream of rng_ is
+  // untouched: runs without retries stay bit-identical to older builds.
+  Rng jitter_parent = rng_;
+  retry_rng_ = jitter_parent.fork(0xBAC0FFull + params_.id);
 }
 
 void Client::start(SimTime horizon) { schedule_next_arrival(horizon); }
@@ -69,8 +75,24 @@ ServerId Client::pick_server(KeyId key, double demand) {
     case ReplicaSelection::kRandom:
       return replicas[rng_.next_below(replicas.size())];
     case ReplicaSelection::kLeastDelay: {
-      ServerId best = replicas.front();
-      double best_est = full_estimate(0, best, demand);
+      // Suspicion-aware ranking: a replica that stopped answering is skipped
+      // until it responds again. With no suspicion the scan degenerates to
+      // the plain least-delay pick (same tie-break: first replica wins).
+      ServerId best = kInvalidServer;
+      double best_est = 0;
+      for (const ServerId candidate : replicas) {
+        if (suspected_[candidate] != 0) continue;
+        const double est = full_estimate(0, candidate, demand);
+        if (best == kInvalidServer || est < best_est) {
+          best_est = est;
+          best = candidate;
+        }
+      }
+      if (best != kInvalidServer) return best;
+      // Every replica suspected: fall back to plain least-delay rather than
+      // refusing to send.
+      best = replicas.front();
+      best_est = full_estimate(0, best, demand);
       for (std::size_t i = 1; i < replicas.size(); ++i) {
         const double est = full_estimate(0, replicas[i], demand);
         if (est < best_est) {
@@ -241,14 +263,16 @@ void Client::arm_hedge(RequestId rid, PendingOp& op) {
     ServerId alternate = kInvalidServer;
     double best_est = 0;
     for (const ServerId candidate : replicas) {
-      if (candidate == it->server) continue;
+      // Hedging to a suspected replica only doubles the load on a host that
+      // is not answering; skip it.
+      if (candidate == it->server || suspected_[candidate] != 0) continue;
       const double est = full_estimate(0, candidate, it->demand_us);
       if (alternate == kInvalidServer || est < best_est) {
         alternate = candidate;
         best_est = est;
       }
     }
-    if (alternate == kInvalidServer) return;  // no distinct replica
+    if (alternate == kInvalidServer) return;  // no distinct live replica
     it->hedged = true;
     ++ops_hedged_;
     send_op_(alternate, it->sent_ctx);
@@ -260,10 +284,16 @@ void Client::arm_hedge(RequestId rid, PendingOp& op) {
 }
 
 void Client::arm_retry(RequestId rid, PendingOp& op) {
-  // Exponential backoff: timeout doubles with each attempt.
-  const Duration timeout =
+  // Exponential backoff: timeout doubles with each attempt, bounded by the
+  // configured cap, with ±20% jitter so clients whose ops died in the same
+  // loss burst (or crash) do not retransmit in lockstep.
+  Duration timeout =
       params_.retry_timeout_us * static_cast<double>(1u << std::min(op.attempts - 1,
                                                                     10u));
+  if (params_.retry_backoff_max_us > 0) {
+    timeout = std::min(timeout, params_.retry_backoff_max_us);
+  }
+  timeout *= retry_rng_.uniform(0.8, 1.2);
   const OperationId op_id = op.op_id;
   op.retry_timer = sim_.schedule_after(timeout, [this, rid, op_id] {
     const auto req_it = pending_.find(rid);
@@ -273,8 +303,17 @@ void Client::arm_retry(RequestId rid, PendingOp& op) {
       return o.op_id == op_id;
     });
     if (it == ops.end() || it->done) return;
+    // Failure detection: one more consecutive unanswered timeout against
+    // this server.
+    note_rto(it->server);
+    if (params_.retry_max_attempts > 0 &&
+        it->attempts >= params_.retry_max_attempts) {
+      abandon_op(rid, *it);
+      return;
+    }
     ++it->attempts;
     ++ops_retransmitted_;
+    maybe_fail_over(req_it->second, *it);
     send_op_(it->server, it->sent_ctx);
     if (tracer_ != nullptr) {
       tracer_->op_send(sim_.now(), op_id, rid, params_.id, it->server,
@@ -282,6 +321,63 @@ void Client::arm_retry(RequestId rid, PendingOp& op) {
     }
     arm_retry(rid, *it);
   });
+}
+
+void Client::note_rto(ServerId server) {
+  if (params_.suspicion_rto_threshold == 0) return;
+  ++rto_strikes_[server];
+  if (suspected_[server] == 0 &&
+      rto_strikes_[server] >= params_.suspicion_rto_threshold) {
+    suspected_[server] = 1;
+    ++suspicions_raised_;
+  }
+}
+
+void Client::maybe_fail_over(PendingRequest& req, PendingOp& op) {
+  // Writes are fanned out to every replica already — a write retry must keep
+  // hammering its own replica. Reads can move.
+  if (params_.replication < 2 || op.sent_ctx.is_write) return;
+  if (suspected_[op.server] == 0) return;
+  const auto replicas = partitioner_.replicas_for(op.key, params_.replication);
+  ServerId best = kInvalidServer;
+  double best_est = 0;
+  for (const ServerId candidate : replicas) {
+    if (candidate == op.server || suspected_[candidate] != 0) continue;
+    const double est = full_estimate(0, candidate, op.demand_us);
+    if (best == kInvalidServer || est < best_est) {
+      best = candidate;
+      best_est = est;
+    }
+  }
+  if (best == kInvalidServer) return;  // every replica suspected: keep trying
+  op.server = best;
+  ++ops_failed_over_;
+  req.failed_over = true;
+}
+
+void Client::abandon_op(RequestId rid, PendingOp& op) {
+  // The retry budget is spent: declare the op failed so the request leaves
+  // the books as FAILED rather than hanging in flight forever. A straggler
+  // response arriving later is discarded as a duplicate.
+  op.done = true;
+  sim_.cancel(op.hedge_timer);
+  op_to_request_.erase(op.op_id);
+  ++ops_abandoned_;
+  const auto req_it = pending_.find(rid);
+  DAS_CHECK(req_it != pending_.end());
+  PendingRequest& req = req_it->second;
+  ++req.failed_ops;
+  DAS_CHECK(req.remaining > 0);
+  --req.remaining;
+  if (req.remaining == 0) {
+    const SimTime now = sim_.now();
+    metrics_.record_request_failure(req.arrival, now);
+    if (tracer_ != nullptr) {
+      tracer_->request_complete(now, rid, params_.id, now - req.arrival);
+    }
+    pending_.erase(req_it);
+    ++requests_failed_;
+  }
 }
 
 void Client::on_response(const OpResponse& resp) {
@@ -293,6 +389,10 @@ void Client::on_response(const OpResponse& resp) {
     mu_est_[resp.server] +=
         params_.ewma_alpha * (resp.mu_hat - mu_est_[resp.server]);
   }
+  // Any response clears the server's failure suspicion: the streak of
+  // consecutive unanswered timeouts is broken.
+  rto_strikes_[resp.server] = 0;
+  suspected_[resp.server] = 0;
 
   const auto op_it = op_to_request_.find(resp.op_id);
   if (op_it == op_to_request_.end()) {
@@ -327,7 +427,20 @@ void Client::on_response(const OpResponse& resp) {
   }
 
   if (req.remaining == 0) {
+    if (req.failed_ops > 0) {
+      // A sibling op was abandoned earlier: the request is failed as a
+      // whole even though this last op did get served. Its latency must not
+      // enter the RCT population.
+      metrics_.record_request_failure(req.arrival, now);
+      if (tracer_ != nullptr) {
+        tracer_->request_complete(now, rid, params_.id, now - req.arrival);
+      }
+      pending_.erase(req_it);
+      ++requests_failed_;
+      return;
+    }
     metrics_.record_request(req.arrival, now, req.ops.size());
+    if (req.failed_over) ++requests_completed_failover_;
     if (tracer_ != nullptr) {
       tracer_->request_complete(now, rid, params_.id, now - req.arrival);
     }

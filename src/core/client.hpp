@@ -53,8 +53,24 @@ class Client {
     /// End-to-end recovery from message loss: an operation unanswered for
     /// this long is retransmitted (same op id; duplicate service is
     /// harmless for reads, duplicate responses are discarded). 0 disables
-    /// retransmission. Backs off exponentially (x2 per attempt).
+    /// retransmission. Backs off exponentially (x2 per attempt) with
+    /// deterministic ±20% jitter so synchronized losses do not yield
+    /// synchronized retry storms.
     Duration retry_timeout_us = 0;
+    /// Upper bound on the backed-off timeout (0 = uncapped): without a cap,
+    /// an op unlucky through a long outage ends up probing a recovered
+    /// server minutes apart.
+    Duration retry_backoff_max_us = 0;
+    /// Give-up bound: after this many send attempts the op is declared
+    /// FAILED (never silently lost — it leaves the request accounted as
+    /// failed). 0 retries forever, which is only safe when every outage
+    /// eventually heals.
+    std::uint32_t retry_max_attempts = 0;
+    /// Failure detection: a server with this many consecutive retry
+    /// timeouts and no intervening response is SUSPECTED — retries of reads
+    /// fail over to live replicas and replica ranking avoids it until it
+    /// answers again. 0 disables suspicion.
+    std::uint32_t suspicion_rto_threshold = 3;
     /// Hedged reads: an operation unanswered after this delay is duplicated
     /// to a different replica (first response wins, the loser is
     /// discarded). Requires replication >= 2; 0 disables. Fires once.
@@ -90,12 +106,20 @@ class Client {
 
   std::uint64_t requests_generated() const { return requests_generated_; }
   std::uint64_t requests_completed() const { return requests_completed_; }
+  std::uint64_t requests_failed() const { return requests_failed_; }
+  std::uint64_t requests_completed_after_failover() const {
+    return requests_completed_failover_;
+  }
   std::uint64_t ops_generated() const { return ops_generated_; }
   std::uint64_t progress_sent() const { return progress_sent_; }
   std::uint64_t ops_retransmitted() const { return ops_retransmitted_; }
   std::uint64_t duplicate_responses() const { return duplicate_responses_; }
   std::uint64_t ops_hedged() const { return ops_hedged_; }
+  std::uint64_t ops_failed_over() const { return ops_failed_over_; }
+  std::uint64_t ops_abandoned() const { return ops_abandoned_; }
+  std::uint64_t suspicions_raised() const { return suspicions_raised_; }
   std::size_t in_flight() const { return pending_.size(); }
+  bool suspects(ServerId s) const { return suspected_[s] != 0; }
 
   /// Current learned view (tests).
   double delay_estimate(ServerId s) const { return d_est_[s]; }
@@ -132,6 +156,11 @@ class Client {
     std::size_t remaining = 0;
     double last_sent_critical = 0;
     double last_sent_total = 0;
+    /// At least one op was redirected to another replica by suspicion.
+    bool failed_over = false;
+    /// Ops abandoned after exhausting the retry budget; > 0 makes the whole
+    /// request count as failed instead of completed.
+    std::size_t failed_ops = 0;
   };
 
   void schedule_next_arrival(SimTime horizon);
@@ -162,20 +191,41 @@ class Client {
   std::unordered_map<RequestId, PendingRequest> pending_;
   std::unordered_map<OperationId, RequestId> op_to_request_;
 
+  /// Jitter stream for retry backoff, forked off a COPY of the client RNG at
+  /// construction so the workload draws stay bit-identical to jitter-free
+  /// builds; only armed retries consume from it.
+  Rng retry_rng_;
+  /// Consecutive unanswered retry timeouts per server and the derived
+  /// suspicion flags (failure detection).
+  std::vector<std::uint32_t> rto_strikes_;
+  std::vector<char> suspected_;
+
   std::uint64_t next_request_seq_ = 0;
   std::uint64_t next_op_seq_ = 0;
   std::uint64_t requests_generated_ = 0;
   std::uint64_t requests_completed_ = 0;
+  std::uint64_t requests_failed_ = 0;
+  std::uint64_t requests_completed_failover_ = 0;
   std::uint64_t ops_generated_ = 0;
   std::uint64_t progress_sent_ = 0;
   std::uint64_t ops_retransmitted_ = 0;
   std::uint64_t duplicate_responses_ = 0;
   std::uint64_t ops_hedged_ = 0;
+  std::uint64_t ops_failed_over_ = 0;
+  std::uint64_t ops_abandoned_ = 0;
+  std::uint64_t suspicions_raised_ = 0;
 
   /// Arms (or re-arms) the retransmission timer for an op of `rid`.
   void arm_retry(RequestId rid, PendingOp& op);
   /// Arms the one-shot hedge timer for an op of `rid`.
   void arm_hedge(RequestId rid, PendingOp& op);
+  /// Failure detection: one more consecutive timeout against `server`.
+  void note_rto(ServerId server);
+  /// Redirects a read retry to the best unsuspected replica, if any.
+  void maybe_fail_over(PendingRequest& req, PendingOp& op);
+  /// Retry budget exhausted: the op is declared failed; finalizes the
+  /// request as failed once no op remains in flight.
+  void abandon_op(RequestId rid, PendingOp& op);
 };
 
 }  // namespace das::core

@@ -35,6 +35,7 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
   DAS_CHECK(config_.num_clients >= 1);
   DAS_CHECK(config_.keys_per_server >= 1);
   DAS_CHECK(window_.measure_us > 0);
+  config_.validate();
 
   Rng master{config_.seed};
 
@@ -47,8 +48,6 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
   net_cfg.loss_probability = config_.msg_loss_probability;
   net_cfg.num_nodes = static_cast<std::uint32_t>(config_.num_servers +
                                                  config_.num_clients);
-  DAS_CHECK_MSG(config_.msg_loss_probability == 0 || config_.retry_timeout_us > 0,
-                "message loss requires a retry timeout or requests never finish");
   net_ = std::make_unique<net::Network>(sim_, net_cfg, master.fork(0xA11CE));
 
   // Placement.
@@ -152,6 +151,9 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
     params.replication = replication;
     params.replica_selection = config_.replica_selection;
     params.retry_timeout_us = config_.retry_timeout_us;
+    params.retry_backoff_max_us = config_.retry_backoff_max_us;
+    params.retry_max_attempts = config_.retry_max_attempts;
+    params.suspicion_rto_threshold = config_.suspicion_rto_threshold;
     params.hedge_delay_us = config_.hedge_delay_us;
     params.write_fraction = config_.write_fraction;
     params.write_size_bytes = config_.write_size_bytes ? config_.write_size_bytes
@@ -254,11 +256,61 @@ double Cluster::derived_request_rate() const {
   return op_rate / config_.fanout->mean();
 }
 
+void Cluster::apply_fault(const fault::FaultEvent& event) {
+  const SimTime now = sim_.now();
+  switch (event.kind) {
+    case fault::FaultKind::kCrash:
+      servers_[event.server]->crash();
+      break;
+    case fault::FaultKind::kRecover:
+      servers_[event.server]->recover();
+      break;
+    case fault::FaultKind::kSlowStart:
+      servers_[event.server]->set_fault_slowdown(event.factor);
+      break;
+    case fault::FaultKind::kSlowEnd:
+      servers_[event.server]->set_fault_slowdown(1.0);
+      break;
+    case fault::FaultKind::kPartition:
+    case fault::FaultKind::kHeal: {
+      const bool cut = event.kind == fault::FaultKind::kPartition;
+      if (event.client == fault::kAllClients) {
+        for (std::size_t c = 0; c < clients_.size(); ++c) {
+          net_->set_partitioned(client_node(static_cast<ClientId>(c)),
+                                server_node(event.server), cut);
+        }
+      } else {
+        net_->set_partitioned(client_node(event.client),
+                              server_node(event.server), cut);
+      }
+      break;
+    }
+    case fault::FaultKind::kLossStart:
+      net_->set_burst_loss(event.factor);
+      break;
+    case fault::FaultKind::kLossEnd:
+      net_->set_burst_loss(0.0);
+      break;
+  }
+  if (tracer_ != nullptr) {
+    // trace::FaultTraceKind mirrors fault::FaultKind value-for-value (the
+    // trace layer must not depend on the fault library).
+    tracer_->fault_event(now, static_cast<trace::FaultTraceKind>(event.kind),
+                         event.server, event.factor);
+  }
+}
+
 ExperimentResult Cluster::run() {
   DAS_CHECK_MSG(!ran_, "Cluster::run is single-shot");
   ran_ = true;
 
   const auto wall_start = std::chrono::steady_clock::now();
+  // Script the fault timeline before workload generation begins; each event
+  // is an ordinary simulator event, so faults interleave deterministically
+  // with the workload.
+  for (const fault::FaultEvent& event : config_.fault_plan.events) {
+    sim_.schedule_at(event.at, [this, event] { apply_fault(event); });
+  }
   for (auto& client : clients_) client->start(window_.horizon());
   sim_.run();
   const auto wall_end = std::chrono::steady_clock::now();
@@ -270,17 +322,29 @@ ExperimentResult Cluster::run() {
   for (const auto& client : clients_) {
     result.requests_generated += client->requests_generated();
     result.requests_completed += client->requests_completed();
+    result.requests_failed += client->requests_failed();
+    result.requests_completed_after_failover +=
+        client->requests_completed_after_failover();
     result.ops_generated += client->ops_generated();
     result.ops_retransmitted += client->ops_retransmitted();
     result.duplicate_responses += client->duplicate_responses();
     result.ops_hedged += client->ops_hedged();
+    result.ops_failed_over += client->ops_failed_over();
+    result.ops_abandoned += client->ops_abandoned();
+    result.suspicions_raised += client->suspicions_raised();
     DAS_CHECK_MSG(client->in_flight() == 0, "request leaked past drain");
   }
-  DAS_CHECK_MSG(result.requests_generated == result.requests_completed,
+  // Graceful degradation, not silent loss: every generated request is either
+  // completed or explicitly accounted as failed.
+  DAS_CHECK_MSG(result.requests_generated ==
+                    result.requests_completed + result.requests_failed,
                 "request conservation violated");
   double util_sum = 0;
   for (const auto& server : servers_) {
     result.ops_completed += server->ops_completed();
+    result.ops_dropped_crashed += server->ops_dropped();
+    result.server_crashes += server->crashes();
+    result.server_recoveries += server->recoveries();
     const double util = server->busy_time_in_window() / window_.measure_us;
     util_sum += util;
     result.max_server_utilization = std::max(result.max_server_utilization, util);
@@ -293,7 +357,7 @@ ExperimentResult Cluster::run() {
   }
   result.breakdown = breakdown_.summary();
   if (config_.msg_loss_probability == 0 && config_.retry_timeout_us == 0 &&
-      config_.hedge_delay_us == 0) {
+      config_.hedge_delay_us == 0 && !config_.fault_plan.loses_work()) {
     // Exact conservation without faults. With retransmission enabled,
     // spurious retries (RTO shorter than a queueing spike) can be served
     // more than once even at zero loss, so the request-level check above
@@ -303,8 +367,16 @@ ExperimentResult Cluster::run() {
   }
   result.mean_server_utilization = util_sum / static_cast<double>(servers_.size());
   result.requests_measured = metrics_.requests_measured();
+  result.requests_failed_measured = metrics_.requests_failed_measured();
+  const std::uint64_t settled = result.requests_completed + result.requests_failed;
+  result.availability =
+      settled == 0 ? 1.0
+                   : static_cast<double>(result.requests_completed) /
+                         static_cast<double>(settled);
   result.net_messages = net_->stats().messages_sent;
   result.net_messages_dropped = net_->stats().messages_dropped;
+  result.net_messages_dropped_partition =
+      net_->stats().messages_dropped_partition;
   result.net_bytes = net_->stats().bytes_sent;
   result.progress_messages = progress_messages_;
   result.sim_duration_us = sim_.now();

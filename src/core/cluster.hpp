@@ -58,6 +58,10 @@ class Cluster {
   /// Request arrival rate (requests/µs, all clients) per the calibration mode.
   double derived_request_rate() const;
 
+  /// Executes one scripted fault event (run() schedules one call per
+  /// FaultPlan entry) and mirrors it into the trace as an instant event.
+  void apply_fault(const fault::FaultEvent& event);
+
   net::NodeId server_node(ServerId s) const { return s; }
   net::NodeId client_node(ClientId c) const {
     return static_cast<net::NodeId>(config_.num_servers + c);

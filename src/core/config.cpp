@@ -1,10 +1,59 @@
 #include "core/config.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/check.hpp"
 
 namespace das::core {
+
+void ClusterConfig::validate() const {
+  const auto reject = [](const std::string& what) {
+    throw std::invalid_argument("ClusterConfig: " + what);
+  };
+  if (msg_loss_probability < 0 || msg_loss_probability >= 1) {
+    reject("msg_loss_probability must be in [0, 1)");
+  }
+  if (msg_loss_probability > 0 && retry_timeout_us <= 0) {
+    reject(
+        "msg_loss_probability > 0 requires retry_timeout_us > 0 — without "
+        "retransmission a lost message strands its request forever");
+  }
+  if (fault_plan.loses_work() && retry_timeout_us <= 0) {
+    reject(
+        "fault_plan contains a crash/partition/lossburst but retry_timeout_us "
+        "== 0 — dropped operations would never be retransmitted and their "
+        "requests never finish");
+  }
+  if (fault_plan.has_unrecovered_failure() && retry_max_attempts == 0) {
+    reject(
+        "fault_plan leaves a server crashed or a link partitioned at the end "
+        "but retry_max_attempts == 0 — unbounded retries against a "
+        "permanently dead target never terminate; set retry_max_attempts so "
+        "the client can give up and account the request as failed");
+  }
+  if (hedge_delay_us > 0 && replication < 2) {
+    reject(
+        "hedge_delay_us > 0 requires replication >= 2 — hedging needs a "
+        "second replica to duplicate the read to");
+  }
+  if (retry_backoff_max_us > 0 && retry_timeout_us <= 0) {
+    reject("retry_backoff_max_us is set but retry_timeout_us == 0 disables "
+           "retransmission entirely");
+  }
+  if (retry_backoff_max_us > 0 && retry_backoff_max_us < retry_timeout_us) {
+    reject("retry_backoff_max_us must be >= retry_timeout_us (the cap cannot "
+           "sit below the base timeout)");
+  }
+  if (retry_max_attempts > 0 && retry_timeout_us <= 0) {
+    reject("retry_max_attempts is set but retry_timeout_us == 0 disables "
+           "retransmission entirely");
+  }
+  if (!fault_plan.empty()) {
+    fault_plan.validate(static_cast<std::uint32_t>(num_servers),
+                        static_cast<std::uint32_t>(num_clients));
+  }
+}
 
 double ClusterConfig::mean_op_demand_us() const {
   DAS_CHECK(value_size_bytes != nullptr);

@@ -11,6 +11,7 @@
 
 #include "common/distributions.hpp"
 #include "common/types.hpp"
+#include "fault/fault_plan.hpp"
 #include "sched/scheduler.hpp"
 #include "workload/rate_function.hpp"
 
@@ -114,12 +115,27 @@ struct ClusterConfig {
   /// Fault injection: independent per-message drop probability in [0, 1).
   /// Requires retry_timeout_us > 0 so requests still complete.
   double msg_loss_probability = 0.0;
-  /// Client retransmission timeout (exponential backoff); 0 disables.
+  /// Client retransmission timeout (exponential backoff with ±20% seeded
+  /// jitter); 0 disables.
   Duration retry_timeout_us = 0.0;
+  /// Cap on the backed-off retransmission timeout; 0 = uncapped.
+  Duration retry_backoff_max_us = 0.0;
+  /// Send attempts per op before the client gives up and the request counts
+  /// as FAILED; 0 = retry forever (requires every fault to heal).
+  std::uint32_t retry_max_attempts = 0;
+  /// Consecutive retry timeouts before a client suspects a server and fails
+  /// reads over to other replicas; 0 disables failure detection.
+  std::uint32_t suspicion_rto_threshold = 3;
   /// Hedged reads: duplicate an unanswered op to another replica after this
   /// delay (needs replication >= 2); 0 disables.
   Duration hedge_delay_us = 0.0;
   // (Message sizes are computed exactly by core/wire.hpp encoders.)
+
+  // --- faults -------------------------------------------------------------
+  /// Scripted fault timeline (crashes/recoveries, gray-failure slowdowns,
+  /// link partitions, loss bursts), executed by the Cluster through the
+  /// simulator. Empty = fault layer fully inert (bit-identical runs).
+  fault::FaultPlan fault_plan;
 
   // --- run control --------------------------------------------------------
   std::uint64_t seed = 42;
@@ -134,6 +150,13 @@ struct ClusterConfig {
   /// always-on aggregate summary) for tests and offline analysis; 0 keeps
   /// only the aggregate.
   std::size_t breakdown_retain_requests = 0;
+
+  /// Cross-field validation of the fault/recovery configuration, run by the
+  /// Cluster constructor before any simulation state is built. Throws
+  /// std::invalid_argument naming the offending field(s) — a config that can
+  /// lose work without the means to recover or account for it is rejected
+  /// up front instead of tripping a mid-run invariant.
+  void validate() const;
 
   /// Expected demand of one operation at nominal speed (µs).
   double mean_op_demand_us() const;

@@ -1,5 +1,7 @@
 #include "core/metrics.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace das::core {
@@ -21,14 +23,36 @@ void Metrics::record_request(SimTime arrival, SimTime completion, std::size_t fa
   fanout_.add(static_cast<double>(fan));
 }
 
+void Metrics::record_request_failure(SimTime arrival, SimTime failed_at) {
+  DAS_CHECK(failed_at >= arrival);
+  if (timeline_bucket_us_ > 0) {
+    const auto bucket = static_cast<std::size_t>(failed_at / timeline_bucket_us_);
+    if (bucket >= timeline_failed_.size()) timeline_failed_.resize(bucket + 1);
+    ++timeline_failed_[bucket];
+  }
+  if (!in_window(arrival)) return;
+  ++failures_measured_;
+}
+
 std::vector<Metrics::TimelinePoint> Metrics::timeline() const {
   std::vector<TimelinePoint> points;
-  for (std::size_t b = 0; b < timeline_buckets_.size(); ++b) {
-    const LatencyRecorder& rec = timeline_buckets_[b];
-    if (rec.moments().count() == 0) continue;
-    points.emplace_back(static_cast<double>(b) * timeline_bucket_us_,
-                        rec.moments().mean(), rec.histogram().p99(),
-                        rec.moments().count());
+  const std::size_t buckets =
+      std::max(timeline_buckets_.size(), timeline_failed_.size());
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const LatencyRecorder* rec =
+        b < timeline_buckets_.size() ? &timeline_buckets_[b] : nullptr;
+    const std::size_t completed = rec != nullptr ? rec->moments().count() : 0;
+    const std::size_t failed = b < timeline_failed_.size() ? timeline_failed_[b] : 0;
+    if (completed == 0 && failed == 0) continue;
+    TimelinePoint point;
+    point.bucket_start = static_cast<double>(b) * timeline_bucket_us_;
+    if (completed > 0) {
+      point.mean_rct = rec->moments().mean();
+      point.p99_rct = rec->histogram().p99();
+    }
+    point.count = completed;
+    point.failed = failed;
+    points.push_back(point);
   }
   return points;
 }

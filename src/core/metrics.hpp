@@ -29,6 +29,11 @@ class Metrics {
   void enable_timeline(Duration bucket_us);
 
   void record_request(SimTime arrival, SimTime completion, std::size_t fanout);
+  /// A request gave up (all retry budget spent on at least one op). Failed
+  /// requests never enter the RCT population — mixing give-up times into a
+  /// latency distribution would reward abandoning early — but they are
+  /// counted, both in-window and on the degradation timeline.
+  void record_request_failure(SimTime arrival, SimTime failed_at);
   void record_operation(SimTime server_arrival, SimTime completion, Duration wait);
 
   const LatencyRecorder& rct() const { return rct_; }
@@ -37,14 +42,18 @@ class Metrics {
   const StreamingStats& fanout() const { return fanout_; }
 
   std::uint64_t requests_measured() const { return rct_.moments().count(); }
+  std::uint64_t requests_failed_measured() const { return failures_measured_; }
 
   /// One point per non-empty bucket: bucket start time, mean and p99 RCT
-  /// (p99 from the log-bucketed histogram, so ±0.5% relative), and count.
+  /// (p99 from the log-bucketed histogram, so ±0.5% relative), completion
+  /// count, and failed-request count (degradation timeline; a bucket with
+  /// only failures still yields a point, with zeroed latency stats).
   struct TimelinePoint {
     SimTime bucket_start = 0;
     double mean_rct = 0;
     double p99_rct = 0;
     std::size_t count = 0;
+    std::size_t failed = 0;
   };
   std::vector<TimelinePoint> timeline() const;
 
@@ -55,8 +64,12 @@ class Metrics {
   LatencyRecorder op_latency_{1e9};
   LatencyRecorder op_wait_{1e9};
   StreamingStats fanout_;
+  std::uint64_t failures_measured_ = 0;
   Duration timeline_bucket_us_ = 0;
   std::vector<LatencyRecorder> timeline_buckets_;
+  /// Failed-request count per timeline bucket (indexed like the latency
+  /// buckets; grown on demand).
+  std::vector<std::size_t> timeline_failed_;
 };
 
 /// What an experiment returns: the paper's reported quantities plus the
@@ -68,6 +81,20 @@ struct ExperimentResult {
   std::uint64_t requests_generated = 0;
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_measured = 0;
+  /// Graceful-degradation accounting (fault layer). Conservation holds as
+  /// requests_generated == requests_completed + requests_failed at drain.
+  std::uint64_t requests_failed = 0;
+  std::uint64_t requests_failed_measured = 0;
+  std::uint64_t requests_completed_after_failover = 0;
+  std::uint64_t ops_failed_over = 0;
+  std::uint64_t ops_abandoned = 0;
+  std::uint64_t suspicions_raised = 0;
+  std::uint64_t ops_dropped_crashed = 0;
+  std::uint64_t server_crashes = 0;
+  std::uint64_t server_recoveries = 0;
+  std::uint64_t net_messages_dropped_partition = 0;
+  /// completed / (completed + failed); 1.0 for a run with nothing failed.
+  double availability = 1.0;
   std::uint64_t ops_generated = 0;
   std::uint64_t ops_completed = 0;
   double mean_server_utilization = 0;

@@ -43,7 +43,10 @@ double Server::current_speed(SimTime now) const {
   const double profile =
       params_.speed_profile ? params_.speed_profile->value_at(now) : 1.0;
   DAS_CHECK_MSG(profile > 0, "speed profile must stay positive");
-  return params_.speed_factor * profile;
+  const double base = params_.speed_factor * profile;
+  // Branch instead of an unconditional multiply: fault-free runs must stay
+  // bit-identical to builds that predate the fault layer.
+  return fault_slowdown_ == 1.0 ? base : base * fault_slowdown_;
 }
 
 double Server::d_hat_us() const {
@@ -51,10 +54,16 @@ double Server::d_hat_us() const {
 }
 
 void Server::check_invariants() const {
-  DAS_AUDIT(ops_received_ ==
-                scheduler_->size() + (busy_ ? 1 : 0) + ops_completed_,
-            "op conservation: received != queued + in-service + completed");
+  DAS_AUDIT(ops_received_ == scheduler_->size() + (busy_ ? 1 : 0) +
+                                 ops_completed_ + ops_dropped_,
+            "op conservation: received != queued + in-service + completed + "
+            "dropped");
   DAS_AUDIT(mu_hat_ > 0, "nonpositive speed estimate");
+  DAS_AUDIT(fault_slowdown_ > 0, "nonpositive fault slowdown");
+  if (state_ == State::kCrashed) {
+    DAS_AUDIT(!busy_, "crashed server still in service");
+    DAS_AUDIT(scheduler_->empty(), "crashed server with queued work");
+  }
   if (busy_) {
     DAS_AUDIT(current_op_.demand_us >= 0, "negative remaining service demand");
     DAS_AUDIT(completion_event_.valid(), "busy server without a completion event");
@@ -67,6 +76,12 @@ void Server::check_invariants() const {
 
 void Server::receive_op(const sched::OpContext& op) {
   ++ops_received_;
+  if (state_ == State::kCrashed) {
+    // The message reached a dead host. Counting it keeps conservation
+    // closed: received == queued + in-service + completed + dropped.
+    ++ops_dropped_;
+    return;
+  }
   const SimTime now = sim_.now();
   if (tracer_ != nullptr) {
     tracer_->server_enqueue(now, op.op_id, op.request_id, params_.id);
@@ -119,11 +134,50 @@ void Server::note_busy_interval(SimTime begin, SimTime end) {
 
 void Server::receive_progress(RequestId request,
                               const sched::ProgressUpdate& update) {
+  if (state_ == State::kCrashed) return;
   scheduler_->on_request_progress(request, update, sim_.now());
 }
 
+void Server::crash() {
+  DAS_CHECK_MSG(state_ != State::kCrashed, "crash of an already-crashed server");
+  const SimTime now = sim_.now();
+  if (busy_) {
+    sim_.cancel(completion_event_);
+    completion_event_ = sim::EventHandle{};
+    note_busy_interval(current_started_, now);
+    if (tracer_ != nullptr) {
+      // Close the open service slice so trace spans stay balanced.
+      tracer_->service_end(now, current_op_.op_id, current_op_.request_id,
+                           params_.id);
+    }
+    busy_ = false;
+    ++ops_dropped_;
+  }
+  ops_dropped_ += scheduler_->drain(now).size();
+  DAS_CHECK_MSG(scheduler_->empty(), "crash left the scheduler non-empty");
+  state_ = State::kCrashed;
+  ++crashes_;
+}
+
+void Server::recover() {
+  DAS_CHECK_MSG(state_ == State::kCrashed, "recover of a live server");
+  DAS_CHECK(!busy_ && scheduler_->empty());
+  state_ = State::kRecovering;
+  recovery_ops_left_ = 16;
+  ++recoveries_;
+  // Warm restart of the estimator: the hardware class is known; the
+  // time-varying component is re-learned from the next completions.
+  mu_hat_ = params_.speed_factor;
+  scheduler_->on_speed_estimate(mu_hat_);
+}
+
+void Server::set_fault_slowdown(double factor) {
+  DAS_CHECK_MSG(factor > 0, "fault slowdown must be positive");
+  fault_slowdown_ = factor;
+}
+
 void Server::maybe_start() {
-  if (busy_ || scheduler_->empty()) return;
+  if (busy_ || state_ == State::kCrashed || scheduler_->empty()) return;
   const SimTime now = sim_.now();
   current_op_ = scheduler_->dequeue(now);
   current_started_ = now;
@@ -161,6 +215,8 @@ void Server::complete_current() {
     record = storage_->get(current_op_.key, now);
   }
   ++ops_completed_;
+  if (state_ == State::kRecovering && --recovery_ops_left_ == 0)
+    state_ = State::kUp;
 
   metrics_.record_operation(current_op_.enqueued_at, now,
                             current_started_ - current_op_.enqueued_at);

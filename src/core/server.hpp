@@ -41,6 +41,11 @@ struct OpResponse {
 
 class Server : public Auditable {
  public:
+  /// Crash lifecycle. kRecovering behaves like kUp but marks the re-learning
+  /// phase right after a restart: the estimator was warm-restarted and holds
+  /// until a handful of completions have re-trained it.
+  enum class State { kUp, kCrashed, kRecovering };
+
   struct Params {
     ServerId id = 0;
     /// Static speed multiplier (0.5 = half-speed straggler).
@@ -77,6 +82,21 @@ class Server : public Auditable {
   /// completed and the scheduling estimates moved.
   void receive_progress(RequestId request, const sched::ProgressUpdate& update);
 
+  /// Fail-stop crash: cancels the in-service op, drains and drops the whole
+  /// queue, and stops accepting work until recover(). Lost ops are counted
+  /// in ops_dropped() — end-to-end recovery is the clients' responsibility.
+  void crash();
+  /// A crashed server restarts empty. The speed estimate warm-restarts at
+  /// the static factor; the time-varying component is re-learned from the
+  /// next completions (State::kRecovering until then).
+  void recover();
+  /// Gray-failure multiplier from the fault plan (1.0 = healthy). Takes
+  /// effect at the next dispatch; the in-service op keeps its sampled speed.
+  void set_fault_slowdown(double factor);
+
+  State state() const { return state_; }
+  bool crashed() const { return state_ == State::kCrashed; }
+
   /// Advertised queueing-delay estimate: backlog over estimated speed.
   double d_hat_us() const;
   double mu_hat() const { return mu_hat_; }
@@ -101,10 +121,14 @@ class Server : public Auditable {
   std::uint64_t ops_completed() const { return ops_completed_; }
   std::uint64_t ops_received() const { return ops_received_; }
   std::uint64_t preemptions() const { return preemptions_; }
+  std::uint64_t ops_dropped() const { return ops_dropped_; }
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t recoveries() const { return recoveries_; }
 
-  /// Request conservation (every received op is queued, in service, or
-  /// completed), nonnegative remaining service demand, a live completion
-  /// event whenever the server is busy, and the scheduler's own invariants.
+  /// Request conservation (every received op is queued, in service,
+  /// completed, or dropped by a crash), nonnegative remaining service
+  /// demand, a live completion event whenever the server is busy, an empty
+  /// idle queue while crashed, and the scheduler's own invariants.
   void check_invariants() const override;
 
  private:
@@ -129,9 +153,18 @@ class Server : public Auditable {
   double current_speed_ = 1.0;
   sim::EventHandle completion_event_;
   double mu_hat_ = 1.0;
+  State state_ = State::kUp;
+  /// Fault-plan gray-failure multiplier; exactly 1.0 outside slow windows so
+  /// fault-free runs never touch a faulted code path.
+  double fault_slowdown_ = 1.0;
+  /// Completions left before a recovering server counts as kUp again.
+  std::uint32_t recovery_ops_left_ = 0;
   std::uint64_t ops_completed_ = 0;
   std::uint64_t ops_received_ = 0;
   std::uint64_t preemptions_ = 0;
+  std::uint64_t ops_dropped_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
 
   SimTime window_begin_ = 0;
   SimTime window_end_ = kTimeInfinity;

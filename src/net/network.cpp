@@ -89,11 +89,76 @@ Network::Network(sim::Simulator& sim, Config config, Rng rng)
   }
 }
 
+SimTime* Network::link_last_slot(NodeId from, NodeId to) {
+  if (config_.num_nodes != 0) {
+    DAS_CHECK_MSG(from < config_.num_nodes && to < config_.num_nodes,
+                  "node id beyond Config::num_nodes");
+    return &link_last_dense_[static_cast<std::size_t>(from) * config_.num_nodes +
+                             to];
+  }
+  return &link_last_sparse_[link_key(from, to)];
+}
+
+char& Network::partition_slot(NodeId from, NodeId to) {
+  if (config_.num_nodes != 0) {
+    DAS_CHECK_MSG(from < config_.num_nodes && to < config_.num_nodes,
+                  "node id beyond Config::num_nodes");
+    if (partition_dense_.empty()) {
+      partition_dense_.assign(
+          static_cast<std::size_t>(config_.num_nodes) * config_.num_nodes, 0);
+    }
+    return partition_dense_[static_cast<std::size_t>(from) * config_.num_nodes +
+                            to];
+  }
+  return partition_sparse_[link_key(from, to)];
+}
+
+void Network::set_partitioned(NodeId a, NodeId b, bool cut) {
+  for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    char& slot = partition_slot(from, to);
+    if (slot == (cut ? 1 : 0)) continue;
+    slot = cut ? 1 : 0;
+    if (cut) {
+      ++partitions_active_;
+    } else {
+      DAS_CHECK(partitions_active_ > 0);
+      --partitions_active_;
+    }
+  }
+}
+
+bool Network::partitioned(NodeId from, NodeId to) const {
+  if (partitions_active_ == 0) return false;
+  if (config_.num_nodes != 0) {
+    if (partition_dense_.empty()) return false;
+    return partition_dense_[static_cast<std::size_t>(from) * config_.num_nodes +
+                            to] != 0;
+  }
+  const auto it = partition_sparse_.find(link_key(from, to));
+  return it != partition_sparse_.end() && it->second != 0;
+}
+
+void Network::set_burst_loss(double p) {
+  DAS_CHECK(p >= 0 && p < 1);
+  burst_loss_ = p;
+}
+
 void Network::send(NodeId from, NodeId to, Bytes size, sim::EventFn&& deliver) {
   DAS_CHECK(deliver != nullptr);
   ++stats_.messages_sent;
   stats_.bytes_sent += size;
+  // Partition check first: it consumes no randomness, so cutting a link
+  // never shifts the loss or latency draws of messages on other links.
+  if (partitions_active_ > 0 && partitioned(from, to)) {
+    ++stats_.messages_dropped;
+    ++stats_.messages_dropped_partition;
+    return;
+  }
   if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (burst_loss_ > 0 && rng_.chance(burst_loss_)) {
     ++stats_.messages_dropped;
     return;
   }
@@ -103,16 +168,7 @@ void Network::send(NodeId from, NodeId to, Bytes size, sim::EventFn&& deliver) {
   }
   SimTime arrival = sim_.now() + delay;
   if (config_.fifo_per_link) {
-    SimTime* last;
-    if (config_.num_nodes != 0) {
-      DAS_CHECK_MSG(from < config_.num_nodes && to < config_.num_nodes,
-                    "node id beyond Config::num_nodes");
-      last = &link_last_dense_[static_cast<std::size_t>(from) *
-                                   config_.num_nodes +
-                               to];
-    } else {
-      last = &link_last_sparse_[link_key(from, to)];
-    }
+    SimTime* last = link_last_slot(from, to);
     arrival = std::max(arrival, *last);
     *last = arrival;
   }

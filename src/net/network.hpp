@@ -47,6 +47,8 @@ LatencyPtr make_lognormal_latency(Duration mean, double sigma);
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
+  /// Subset of messages_dropped destroyed by a link partition (fault layer).
+  std::uint64_t messages_dropped_partition = 0;
   Bytes bytes_sent = 0;
 };
 
@@ -78,10 +80,27 @@ class Network {
   /// convert to a temporary EventFn at the call site).
   void send(NodeId from, NodeId to, Bytes size, sim::EventFn&& deliver);
 
+  /// Fault layer: cuts (or heals) the undirected link between `a` and `b`.
+  /// While cut, every message on the link is destroyed — before any RNG
+  /// draw, so partitions never perturb the loss/latency streams of the
+  /// surviving traffic. Idempotent per direction.
+  void set_partitioned(NodeId a, NodeId b, bool cut);
+  bool partitioned(NodeId from, NodeId to) const;
+
+  /// Fault layer: an additional cluster-wide drop probability layered on top
+  /// of Config::loss_probability for the duration of a loss burst (0 = no
+  /// burst). Burst drops consume one RNG draw per message, exactly like base
+  /// loss.
+  void set_burst_loss(double p);
+  double burst_loss() const { return burst_loss_; }
+
   const NetworkStats& stats() const { return stats_; }
   Duration mean_latency() const { return config_.latency->mean(); }
 
  private:
+  SimTime* link_last_slot(NodeId from, NodeId to);
+  char& partition_slot(NodeId from, NodeId to);
+
   sim::Simulator& sim_;
   Config config_;
   Rng rng_;
@@ -91,6 +110,13 @@ class Network {
   /// initial 0.0 is the clamp's identity), sparse fallback otherwise.
   std::vector<SimTime> link_last_dense_;
   FlatMap<std::uint64_t, SimTime> link_last_sparse_;
+  /// Directed partition state, same dense/sparse split as the FIFO clamp.
+  /// `partitions_active_` counts cut directed links so the fault-free send
+  /// path pays one integer compare and never touches the tables.
+  std::vector<char> partition_dense_;
+  FlatMap<std::uint64_t, char> partition_sparse_;
+  std::uint32_t partitions_active_ = 0;
+  double burst_loss_ = 0.0;
 };
 
 }  // namespace das::net

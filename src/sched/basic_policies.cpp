@@ -44,6 +44,18 @@ OpContext FcfsScheduler::dequeue(SimTime) {
   return op;
 }
 
+std::vector<OpContext> FcfsScheduler::drain(SimTime) {
+  std::vector<OpContext> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    OpContext op = std::move(queue_.front());
+    queue_.pop_front();
+    note_out(op);
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
 void RandomScheduler::enqueue(const OpContext& op, SimTime now) {
   OpContext copy = op;
   copy.enqueued_at = now;
@@ -62,6 +74,17 @@ OpContext RandomScheduler::dequeue(SimTime) {
   return op;
 }
 
+std::vector<OpContext> RandomScheduler::drain(SimTime) {
+  std::vector<OpContext> out;
+  out.reserve(queue_.size());
+  for (OpContext& op : queue_) {
+    note_out(op);
+    out.push_back(std::move(op));
+  }
+  queue_.clear();
+  return out;
+}
+
 void SjfScheduler::enqueue(const OpContext& op, SimTime now) {
   OpContext copy = op;
   copy.enqueued_at = now;
@@ -75,6 +98,17 @@ OpContext SjfScheduler::dequeue(SimTime) {
   return op;
 }
 
+std::vector<OpContext> SjfScheduler::drain(SimTime) {
+  std::vector<OpContext> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    OpContext op = queue_.pop_min();
+    note_out(op);
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
 void EdfScheduler::enqueue(const OpContext& op, SimTime now) {
   OpContext copy = op;
   copy.enqueued_at = now;
@@ -86,6 +120,17 @@ OpContext EdfScheduler::dequeue(SimTime) {
   OpContext op = queue_.pop_min();
   note_out(op);
   return op;
+}
+
+std::vector<OpContext> EdfScheduler::drain(SimTime) {
+  std::vector<OpContext> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    OpContext op = queue_.pop_min();
+    note_out(op);
+    out.push_back(std::move(op));
+  }
+  return out;
 }
 
 }  // namespace das::sched

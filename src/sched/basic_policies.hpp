@@ -20,6 +20,7 @@ class FcfsScheduler final : public SchedulerBase {
  public:
   void enqueue(const OpContext& op, SimTime now) override;
   OpContext dequeue(SimTime now) override;
+  std::vector<OpContext> drain(SimTime now) override;
   std::string name() const override { return "fcfs"; }
 
  protected:
@@ -36,6 +37,8 @@ class RandomScheduler final : public SchedulerBase {
   explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
   void enqueue(const OpContext& op, SimTime now) override;
   OpContext dequeue(SimTime now) override;
+  /// Drains in arrival order: a crash drop must not consume randomness.
+  std::vector<OpContext> drain(SimTime now) override;
   std::string name() const override { return "random"; }
 
  protected:
@@ -54,6 +57,7 @@ class SjfScheduler final : public SchedulerBase {
  public:
   void enqueue(const OpContext& op, SimTime now) override;
   OpContext dequeue(SimTime now) override;
+  std::vector<OpContext> drain(SimTime now) override;
   std::string name() const override { return "sjf"; }
 
  protected:
@@ -69,6 +73,7 @@ class EdfScheduler final : public SchedulerBase {
  public:
   void enqueue(const OpContext& op, SimTime now) override;
   OpContext dequeue(SimTime now) override;
+  std::vector<OpContext> drain(SimTime now) override;
   std::string name() const override { return "edf"; }
 
  protected:

@@ -199,6 +199,22 @@ OpContext DasScheduler::dequeue(SimTime now) {
   return finish(deferred_.begin()->h, now);
 }
 
+std::vector<OpContext> DasScheduler::drain(SimTime now) {
+  std::vector<OpContext> out;
+  out.reserve(records_.size());
+  // Walk the arrival fifo skipping stale entries; the fifo invariantly
+  // covers every live record, so this empties records_, both order sets,
+  // and the per-request index through the normal finish path.
+  while (!fifo_.empty()) {
+    const Handle h = fifo_.front();
+    fifo_.pop_front();
+    if (!records_.contains(h)) continue;
+    out.push_back(finish(h, now));
+  }
+  DAS_CHECK_MSG(records_.empty(), "drain left DAS records behind");
+  return out;
+}
+
 void DasScheduler::on_request_progress(RequestId request, const ProgressUpdate& update,
                                        SimTime now) {
   const auto it = by_request_.find(request);

@@ -76,6 +76,7 @@ class DasScheduler final : public SchedulerBase {
 
   void enqueue(const OpContext& op, SimTime now) override;
   OpContext dequeue(SimTime now) override;
+  std::vector<OpContext> drain(SimTime now) override;
   void on_request_progress(RequestId request, const ProgressUpdate& update,
                            SimTime now) override;
   void on_speed_estimate(double speed) override;

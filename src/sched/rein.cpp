@@ -104,4 +104,20 @@ OpContext ReinSbfScheduler::dequeue(SimTime now) {
   return {};
 }
 
+std::vector<OpContext> ReinSbfScheduler::drain(SimTime) {
+  std::vector<OpContext> out;
+  out.reserve(size());
+  // Level order, FCFS inside a level — the no-aging serve order. The aging
+  // fifo only ever points at queued ops, so it empties wholesale.
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    while (!levels_[level].empty()) {
+      const Handle h = levels_[level].min_handle();
+      const std::uint64_t seq = levels_[level].min_key();
+      out.push_back(take(level, seq, h));
+    }
+  }
+  fifo_.clear();
+  return out;
+}
+
 }  // namespace das::sched

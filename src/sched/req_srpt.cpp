@@ -44,6 +44,19 @@ OpContext ReqSrptScheduler::dequeue(SimTime) {
   return op;
 }
 
+std::vector<OpContext> ReqSrptScheduler::drain(SimTime) {
+  std::vector<OpContext> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    const Handle h = queue_.min_handle();
+    OpContext op = queue_.pop_min();
+    forget(op, h);
+    note_out(op);
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
 void ReqSrptScheduler::forget(const OpContext& op, Handle h) {
   key_of_.erase(h);
   const auto it = by_request_.find(op.request_id);

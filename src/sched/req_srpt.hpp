@@ -20,6 +20,7 @@ class ReqSrptScheduler final : public SchedulerBase {
  public:
   void enqueue(const OpContext& op, SimTime now) override;
   OpContext dequeue(SimTime now) override;
+  std::vector<OpContext> drain(SimTime now) override;
   void on_request_progress(RequestId request, const ProgressUpdate& update,
                            SimTime now) override;
   /// True preemptive SRPT when the server allows it: a strictly smaller

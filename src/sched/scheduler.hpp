@@ -48,6 +48,14 @@ class Scheduler : public Auditable {
   /// Precondition: !empty().
   virtual OpContext dequeue(SimTime now) = 0;
 
+  /// Crash support: removes and returns EVERY queued operation — runnable
+  /// and deferred alike — leaving the scheduler empty but reusable (a
+  /// recovered server enqueues into the same instance). The ops are being
+  /// dropped, not served, so implementations must keep the conservation
+  /// accounting consistent (each drained op counts as dequeued), consume no
+  /// randomness, and emit no tracer or mechanism-counter events.
+  virtual std::vector<OpContext> drain(SimTime now) = 0;
+
   virtual bool empty() const = 0;
   virtual std::size_t size() const = 0;
 

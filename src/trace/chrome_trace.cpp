@@ -20,6 +20,8 @@ std::uint64_t server_pid(ServerId s) { return 1 + static_cast<std::uint64_t>(s);
 std::uint64_t client_pid(ClientId c) {
   return 1'000'000 + static_cast<std::uint64_t>(c);
 }
+/// Lane for cluster-wide fault instants (loss bursts) that target no server.
+constexpr std::uint64_t kClusterPid = 2'000'000;
 
 /// Round-trip double formatting; ts values are already in microseconds, the
 /// trace-event native unit.
@@ -54,8 +56,11 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
   // Participants, in deterministic (sorted) order for the metadata block.
   std::set<ServerId> servers;
   std::set<ClientId> clients;
+  bool cluster_lane = false;
   for (const TraceEvent& ev : tracer.events()) {
     if (ev.server != kInvalidServer) servers.insert(ev.server);
+    if (ev.kind == EventKind::kFaultEvent && ev.server == kInvalidServer)
+      cluster_lane = true;
     switch (ev.kind) {
       case EventKind::kRequestArrival:
       case EventKind::kOpSend:
@@ -87,6 +92,7 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
     meta("process_name", client_pid(c), 0, "client " + std::to_string(c));
     meta("thread_name", client_pid(c), 0, "requests");
   }
+  if (cluster_lane) meta("process_name", kClusterPid, 0, "cluster");
 
   // Ops currently shown inside an async "deferred" span; lets the writer
   // close spans for ops served straight out of the deferred set (no resume
@@ -201,6 +207,17 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
           cx << "}";
           event(os, first, "C", server_pid(ev.server), 0, ev.t, cx.str());
         }
+        break;
+      }
+      case EventKind::kFaultEvent: {
+        const auto fault = static_cast<FaultTraceKind>(static_cast<int>(ev.a));
+        extra << R"(, "s": "p", "cat": "fault", "name": "fault:)"
+              << to_string(fault) << R"(", "args": {"factor": )";
+        num(extra, ev.b);
+        extra << "}";
+        const bool on_server = ev.server != kInvalidServer;
+        event(os, first, "i", on_server ? server_pid(ev.server) : kClusterPid,
+              0, ev.t, extra.str());
         break;
       }
     }

@@ -39,13 +39,28 @@ RequestBreakdown make_request_breakdown(SimTime arrival, SimTime completion,
 
   // Residual construction: fold every rounding ulp of the decomposition into
   // the runnable-wait term, then nudge until the fixed-order sum (total_us())
-  // reconstructs the measured RCT bitwise. The initial residual is within
-  // half an ulp of closing the sum, so the loop moves a few steps at most.
-  const double partial = (bd.network_us + bd.deferred_wait_us) + bd.service_us;
-  double runnable = bd.rct_us - partial;
-  for (int i = 0; i < 64 && partial + runnable != bd.rct_us; ++i) {
-    runnable = std::nextafter(
-        runnable, partial + runnable < bd.rct_us ? kTimeInfinity : -kTimeInfinity);
+  // reconstructs the measured RCT bitwise. Nudging runnable alone can fail:
+  // when runnable and the sum share a binade, consecutive runnable values map
+  // to sums two ulps apart under round-to-even and can straddle rct_us
+  // forever. In that case shift the rounding phase instead — bump the
+  // dominant sibling term by one of ITS ulps (a sub-ulp move at the sum's
+  // scale) and retry; a result-ulp of phase is covered within ~64 shifts.
+  double* phase = &bd.network_us;
+  if (std::abs(bd.service_us) > std::abs(*phase)) phase = &bd.service_us;
+  if (std::abs(bd.deferred_wait_us) > std::abs(*phase))
+    phase = &bd.deferred_wait_us;
+  double runnable = 0;
+  bool closed = false;
+  for (int shift = 0; shift < 4096 && !closed; ++shift) {
+    const double partial = (bd.network_us + bd.deferred_wait_us) + bd.service_us;
+    runnable = bd.rct_us - partial;
+    for (int i = 0; i < 4 && partial + runnable != bd.rct_us; ++i) {
+      runnable = std::nextafter(
+          runnable,
+          partial + runnable < bd.rct_us ? kTimeInfinity : -kTimeInfinity);
+    }
+    closed = partial + runnable == bd.rct_us;
+    if (!closed) *phase = std::nextafter(*phase, kTimeInfinity);
   }
   bd.runnable_wait_us = runnable;
   DAS_CHECK_MSG(bd.total_us() == bd.rct_us,

@@ -18,8 +18,24 @@ const char* to_string(EventKind kind) {
     case EventKind::kResponse: return "response";
     case EventKind::kRequestComplete: return "request_complete";
     case EventKind::kCounterSample: return "counter_sample";
+    case EventKind::kFaultEvent: return "fault_event";
   }
   DAS_CHECK_MSG(false, "unknown trace event kind");
+  return "?";
+}
+
+const char* to_string(FaultTraceKind kind) {
+  switch (kind) {
+    case FaultTraceKind::kCrash: return "crash";
+    case FaultTraceKind::kRecover: return "recover";
+    case FaultTraceKind::kSlowStart: return "slow_start";
+    case FaultTraceKind::kSlowEnd: return "slow_end";
+    case FaultTraceKind::kPartition: return "partition";
+    case FaultTraceKind::kHeal: return "heal";
+    case FaultTraceKind::kLossStart: return "loss_start";
+    case FaultTraceKind::kLossEnd: return "loss_end";
+  }
+  DAS_CHECK_MSG(false, "unknown fault trace kind");
   return "?";
 }
 
@@ -180,6 +196,17 @@ void Tracer::counter_sample(SimTime t, ServerId server, double backlog_us,
   ev.b = mu_hat;
   ev.c = static_cast<double>(runnable);
   ev.d = static_cast<double>(deferred);
+  record(ev);
+}
+
+void Tracer::fault_event(SimTime t, FaultTraceKind fault, ServerId server,
+                         double factor) {
+  TraceEvent ev;
+  ev.kind = EventKind::kFaultEvent;
+  ev.t = t;
+  ev.server = server;
+  ev.a = static_cast<double>(fault);
+  ev.b = factor;
   record(ev);
 }
 

@@ -44,10 +44,27 @@ enum class EventKind : std::uint8_t {
   kRequestComplete,  // last response arrived (a=rct_us)
   kCounterSample,    // per-server gauges (a=backlog_us, b=mu_hat,
                      //   c=runnable depth, d=deferred depth)
+  kFaultEvent,       // fault-plan instant (a=FaultTraceKind, b=factor)
 };
 
 /// Stable lower-snake identifier, e.g. "op_defer", "service_start".
 const char* to_string(EventKind kind);
+
+/// Mirror of fault::FaultKind so the trace layer stays independent of the
+/// fault library; the Cluster maps between the two when it executes a plan.
+enum class FaultTraceKind : std::uint8_t {
+  kCrash,
+  kRecover,
+  kSlowStart,
+  kSlowEnd,
+  kPartition,
+  kHeal,
+  kLossStart,
+  kLossEnd,
+};
+
+/// Stable lower-snake identifier, e.g. "crash", "slow_start".
+const char* to_string(FaultTraceKind kind);
 
 /// One recorded event. Fixed-size so the ring stays cache-friendly; ids not
 /// meaningful for a kind are left at their defaults (kInvalidServer etc.).
@@ -103,6 +120,10 @@ class Tracer {
                         double rct_us);
   void counter_sample(SimTime t, ServerId server, double backlog_us,
                       double mu_hat, std::size_t runnable, std::size_t deferred);
+  /// `server` is kInvalidServer for cluster-wide faults (loss bursts);
+  /// `factor` carries the slowdown multiplier or burst loss probability.
+  void fault_event(SimTime t, FaultTraceKind fault, ServerId server,
+                   double factor);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   /// Events rejected by the cap (explicit drop accounting: retained +

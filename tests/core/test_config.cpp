@@ -2,8 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace das::core {
 namespace {
+
+/// Runs validate() and returns the rejection message ("" = accepted).
+std::string validation_error(const ClusterConfig& cfg) {
+  try {
+    cfg.validate();
+    return "";
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+}
 
 TEST(Config, MeanOpDemandCombinesOverheadAndTransfer) {
   ClusterConfig cfg;
@@ -69,6 +82,65 @@ TEST(Config, InvalidTargetLoadThrows) {
   EXPECT_THROW(cfg.derived_arrival_rate(1e6), std::logic_error);
   cfg.target_load = 0.0;
   EXPECT_THROW(cfg.derived_arrival_rate(1e6), std::logic_error);
+}
+
+TEST(ConfigValidate, DefaultConfigIsAccepted) {
+  EXPECT_EQ(validation_error(ClusterConfig{}), "");
+}
+
+TEST(ConfigValidate, RejectionsNameTheOffendingField) {
+  ClusterConfig cfg;
+  cfg.msg_loss_probability = 1.5;
+  EXPECT_NE(validation_error(cfg).find("msg_loss_probability"),
+            std::string::npos);
+
+  cfg = ClusterConfig{};
+  cfg.msg_loss_probability = 0.1;  // loss without retransmission
+  EXPECT_NE(validation_error(cfg).find("retry_timeout_us"), std::string::npos);
+
+  cfg = ClusterConfig{};
+  cfg.hedge_delay_us = 500.0;  // hedging without a second replica
+  EXPECT_NE(validation_error(cfg).find("replication"), std::string::npos);
+
+  cfg = ClusterConfig{};
+  cfg.retry_backoff_max_us = 100.0;  // cap without retransmission
+  EXPECT_NE(validation_error(cfg).find("retry_backoff_max_us"),
+            std::string::npos);
+
+  cfg = ClusterConfig{};
+  cfg.retry_timeout_us = 200.0;
+  cfg.retry_backoff_max_us = 100.0;  // cap below the base timeout
+  EXPECT_NE(validation_error(cfg).find("retry_backoff_max_us"),
+            std::string::npos);
+
+  cfg = ClusterConfig{};
+  cfg.retry_max_attempts = 5;  // give-up bound without retransmission
+  EXPECT_NE(validation_error(cfg).find("retry_max_attempts"),
+            std::string::npos);
+}
+
+TEST(ConfigValidate, FaultPlanSafetyCoupling) {
+  // A work-losing plan needs retransmission to keep accounting closed.
+  ClusterConfig cfg;
+  cfg.fault_plan = fault::parse_fault_plan("crash@1ms:s0,recover@2ms:s0");
+  EXPECT_NE(validation_error(cfg).find("retry_timeout_us"), std::string::npos);
+  cfg.retry_timeout_us = 100.0;
+  EXPECT_EQ(validation_error(cfg), "");
+
+  // A permanently dead target needs a bounded retry budget.
+  cfg = ClusterConfig{};
+  cfg.retry_timeout_us = 100.0;
+  cfg.fault_plan = fault::parse_fault_plan("crash@1ms:s0");
+  EXPECT_NE(validation_error(cfg).find("retry_max_attempts"),
+            std::string::npos);
+  cfg.retry_max_attempts = 4;
+  EXPECT_EQ(validation_error(cfg), "");
+
+  // Structural plan validation runs against the configured topology.
+  cfg = ClusterConfig{};
+  cfg.retry_timeout_us = 100.0;
+  cfg.fault_plan = fault::parse_fault_plan("crash@1ms:s99,recover@2ms:s99");
+  EXPECT_NE(validation_error(cfg).find("out of range"), std::string::npos);
 }
 
 }  // namespace

@@ -44,12 +44,12 @@ TEST(Hedging, CutsTheTailOnStragglerClusters) {
   EXPECT_LT(hedged.rct.p99, plain.rct.p99 * 0.9);
 }
 
-TEST(Hedging, DisabledWithoutReplication) {
+TEST(Hedging, RejectedWithoutReplication) {
+  // Hedging needs a second replica; ClusterConfig::validate rejects the
+  // combination up front instead of silently never hedging.
   auto cfg = hedged_config(500.0);
   cfg.replication = 1;
-  const ExperimentResult r = run_experiment(cfg, window());
-  EXPECT_EQ(r.ops_hedged, 0u);
-  EXPECT_EQ(r.requests_generated, r.requests_completed);
+  EXPECT_THROW(run_experiment(cfg, window()), std::invalid_argument);
 }
 
 TEST(Hedging, ShorterDelayHedgesMore) {

@@ -1,0 +1,217 @@
+// Fault plans end to end: crash/recovery lifecycle, failure detection and
+// failover, graceful-degradation accounting, and the chaos property test.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace das::core {
+namespace {
+
+ClusterConfig faulty_config(sched::Policy policy = sched::Policy::kDas) {
+  ClusterConfig cfg;
+  cfg.num_servers = 8;
+  cfg.num_clients = 2;
+  cfg.keys_per_server = 200;
+  cfg.zipf_theta = 0.0;
+  cfg.load_calibration = LoadCalibration::kAverageCapacity;
+  cfg.target_load = 0.5;
+  cfg.policy = policy;
+  cfg.retry_timeout_us = 1.0 * kMillisecond;
+  cfg.seed = 99;
+  return cfg;
+}
+
+RunWindow window() {
+  RunWindow w;
+  w.warmup_us = 5.0 * kMillisecond;
+  w.measure_us = 50.0 * kMillisecond;
+  return w;
+}
+
+// --- failover proof: replication >= 2 rides out a single-server crash ----
+
+TEST(Faults, ReplicatedClusterCompletesEveryRequestThroughACrash) {
+  auto cfg = faulty_config();
+  cfg.replication = 2;
+  cfg.replica_selection = ReplicaSelection::kLeastDelay;
+  cfg.fault_plan = fault::parse_fault_plan("crash@20ms:s3,recover@40ms:s3");
+  const ExperimentResult r = run_experiment(cfg, window());
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+  EXPECT_EQ(r.requests_failed, 0u);
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  EXPECT_EQ(r.server_crashes, 1u);
+  EXPECT_EQ(r.server_recoveries, 1u);
+  EXPECT_GT(r.ops_dropped_crashed, 0u);  // the crash really destroyed work
+  // Suspicion kicked in and retries moved to the live replica.
+  EXPECT_GT(r.suspicions_raised, 0u);
+  EXPECT_GT(r.ops_failed_over, 0u);
+  EXPECT_GT(r.requests_completed_after_failover, 0u);
+}
+
+TEST(Faults, FailoverProofHoldsForEveryPolicy) {
+  for (const sched::Policy policy :
+       {sched::Policy::kFcfs, sched::Policy::kSjf, sched::Policy::kReqSrpt,
+        sched::Policy::kReinSbf, sched::Policy::kDas}) {
+    auto cfg = faulty_config(policy);
+    cfg.replication = 2;
+    cfg.replica_selection = ReplicaSelection::kLeastDelay;
+    cfg.fault_plan = fault::parse_fault_plan("crash@20ms:s3,recover@40ms:s3");
+    const ExperimentResult r = run_experiment(cfg, window());
+    EXPECT_EQ(r.requests_generated, r.requests_completed)
+        << sched::to_string(policy);
+    EXPECT_DOUBLE_EQ(r.availability, 1.0) << sched::to_string(policy);
+  }
+}
+
+// --- replication 1: unreachable work fails loudly, never silently --------
+
+TEST(Faults, UnreplicatedCrashWindowFailsRequestsButLosesNone) {
+  auto cfg = faulty_config();
+  cfg.retry_max_attempts = 4;
+  cfg.fault_plan = fault::parse_fault_plan("crash@20ms:s3,recover@35ms:s3");
+  const ExperimentResult r = run_experiment(cfg, window());
+  // Requests aimed at s3 inside the window exhaust their retry budget.
+  EXPECT_GT(r.requests_failed, 0u);
+  EXPECT_GT(r.ops_abandoned, 0u);
+  EXPECT_LT(r.availability, 1.0);
+  // Full accounting: nothing is ever silently lost.
+  EXPECT_EQ(r.requests_generated, r.requests_completed + r.requests_failed);
+  const double settled =
+      static_cast<double>(r.requests_completed + r.requests_failed);
+  EXPECT_DOUBLE_EQ(r.availability,
+                   static_cast<double>(r.requests_completed) / settled);
+}
+
+TEST(Faults, RecoveredServerServesAgain) {
+  auto cfg = faulty_config();
+  cfg.retry_max_attempts = 8;
+  // Crash early, recover with most of the run remaining: the recovered
+  // server must absorb its keyspace again or the tail of the run would fail.
+  cfg.fault_plan = fault::parse_fault_plan("crash@8ms:s2,recover@12ms:s2");
+  const ExperimentResult r = run_experiment(cfg, window());
+  EXPECT_EQ(r.server_recoveries, 1u);
+  EXPECT_EQ(r.requests_generated, r.requests_completed + r.requests_failed);
+  // After recovery the vast majority of traffic completes.
+  EXPECT_GT(r.availability, 0.9);
+}
+
+// --- other fault shapes ---------------------------------------------------
+
+TEST(Faults, GrayFailureSlowdownInflatesLatencyWithoutFailures) {
+  auto base = faulty_config();
+  const ExperimentResult clean = run_experiment(base, window());
+  auto cfg = faulty_config();
+  cfg.fault_plan = fault::parse_fault_plan("slow@10ms-45ms:s1:x0.2");
+  const ExperimentResult slowed = run_experiment(cfg, window());
+  EXPECT_EQ(slowed.requests_failed, 0u);
+  EXPECT_DOUBLE_EQ(slowed.availability, 1.0);
+  EXPECT_GT(slowed.rct.p999, clean.rct.p999);
+}
+
+TEST(Faults, PartitionDropsLinkTrafficAndHeals) {
+  auto cfg = faulty_config();
+  cfg.fault_plan =
+      fault::parse_fault_plan("partition@15ms:c0-s2,heal@30ms:c0-s2");
+  const ExperimentResult r = run_experiment(cfg, window());
+  EXPECT_GT(r.net_messages_dropped_partition, 0u);
+  EXPECT_EQ(r.requests_generated, r.requests_completed);  // retries recover
+}
+
+TEST(Faults, LossBurstRecoversThroughRetransmission) {
+  auto cfg = faulty_config();
+  cfg.fault_plan = fault::parse_fault_plan("lossburst@15ms-25ms:p0.4");
+  const ExperimentResult r = run_experiment(cfg, window());
+  EXPECT_GT(r.net_messages_dropped, 0u);
+  EXPECT_GT(r.ops_retransmitted, 0u);
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+}
+
+// --- config-level rejection of unsafe plans -------------------------------
+
+TEST(Faults, WorkLosingPlanWithoutRetryIsRejected) {
+  auto cfg = faulty_config();
+  cfg.retry_timeout_us = 0;
+  cfg.fault_plan = fault::parse_fault_plan("crash@20ms:s3,recover@40ms:s3");
+  EXPECT_THROW(run_experiment(cfg, window()), std::invalid_argument);
+}
+
+TEST(Faults, UnrecoveredFailureWithoutGiveUpBoundIsRejected) {
+  auto cfg = faulty_config();
+  cfg.fault_plan = fault::parse_fault_plan("crash@20ms:s3");  // never recovers
+  EXPECT_THROW(run_experiment(cfg, window()), std::invalid_argument);
+}
+
+TEST(Faults, PlanTargetingMissingServerIsRejected) {
+  auto cfg = faulty_config();
+  cfg.fault_plan = fault::parse_fault_plan("crash@20ms:s99,recover@40ms:s99");
+  EXPECT_THROW(run_experiment(cfg, window()), std::invalid_argument);
+}
+
+// --- golden zero-cost property: an empty plan changes nothing -------------
+
+TEST(Faults, EmptyPlanIsBitIdenticalToNoFaultLayer) {
+  const ExperimentResult plain = run_experiment(faulty_config(), window());
+  auto cfg = faulty_config();
+  cfg.fault_plan = fault::FaultPlan{};
+  const ExperimentResult with_empty_plan = run_experiment(cfg, window());
+  EXPECT_DOUBLE_EQ(plain.rct.mean, with_empty_plan.rct.mean);
+  EXPECT_DOUBLE_EQ(plain.rct.p999, with_empty_plan.rct.p999);
+  EXPECT_EQ(plain.net_messages, with_empty_plan.net_messages);
+}
+
+// --- chaos property test --------------------------------------------------
+
+TEST(Faults, ChaosPlansKeepAccountingClosedForEveryPolicy) {
+  for (const std::uint64_t chaos_seed : {1ull, 7ull, 23ull}) {
+    fault::ChaosOptions options;
+    options.horizon_us = window().horizon();
+    options.num_servers = 8;
+    options.num_clients = 2;
+    options.crashes = 2;
+    options.slowdowns = 1;
+    options.partitions = 1;
+    const fault::FaultPlan plan = fault::make_chaos_plan(options, chaos_seed);
+    for (const sched::Policy policy :
+         {sched::Policy::kFcfs, sched::Policy::kSjf, sched::Policy::kReqSrpt,
+          sched::Policy::kReinSbf, sched::Policy::kDas}) {
+      auto cfg = faulty_config(policy);
+      cfg.replication = 2;
+      cfg.replica_selection = ReplicaSelection::kLeastDelay;
+      cfg.retry_max_attempts = 12;
+      cfg.fault_plan = plan;
+      cfg.audit_every_events = 5000;  // deep structural audits stay clean
+      const ExperimentResult r = run_experiment(cfg, window());
+      EXPECT_EQ(r.requests_generated, r.requests_completed + r.requests_failed)
+          << "seed=" << chaos_seed << " policy=" << sched::to_string(policy);
+      EXPECT_GT(r.requests_completed, 0u);
+    }
+  }
+}
+
+TEST(Faults, ChaosRunsAreBitIdenticalAcrossReruns) {
+  fault::ChaosOptions options;
+  options.horizon_us = window().horizon();
+  options.num_servers = 8;
+  options.num_clients = 2;
+  options.crashes = 2;
+  options.partitions = 1;
+  auto cfg = faulty_config();
+  cfg.replication = 2;
+  cfg.replica_selection = ReplicaSelection::kLeastDelay;
+  cfg.fault_plan = fault::make_chaos_plan(options, 5);
+  const ExperimentResult a = run_experiment(cfg, window());
+  const ExperimentResult b = run_experiment(cfg, window());
+  EXPECT_DOUBLE_EQ(a.rct.mean, b.rct.mean);
+  EXPECT_DOUBLE_EQ(a.rct.p999, b.rct.p999);
+  EXPECT_EQ(a.ops_retransmitted, b.ops_retransmitted);
+  EXPECT_EQ(a.ops_failed_over, b.ops_failed_over);
+  EXPECT_EQ(a.ops_dropped_crashed, b.ops_dropped_crashed);
+  EXPECT_EQ(a.net_messages_dropped_partition, b.net_messages_dropped_partition);
+}
+
+}  // namespace
+}  // namespace das::core

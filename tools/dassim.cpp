@@ -13,6 +13,7 @@
 // them as BENCH_<experiment>.json (--json). --trace records the full op
 // lifecycle of a single-policy run as Chrome trace-event JSON (open in
 // Perfetto); --breakdown prints the exact per-component RCT attribution.
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -25,6 +26,7 @@
 #include "core/experiment.hpp"
 #include "core/perf.hpp"
 #include "core/sweep.hpp"
+#include "fault/fault_plan.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/tracer.hpp"
 #include "workload/spec.hpp"
@@ -155,6 +157,25 @@ int main(int argc, char** argv) {
   flags.define("ring-vnodes", "0", "consistent-hash vnodes (0 = modulo)");
   flags.define("loss", "0", "per-message drop probability (needs --retry-ms > 0)");
   flags.define("retry-ms", "0", "retransmission timeout in ms (0 = off)");
+  flags.define("backoff-cap-ms", "0",
+               "cap on the backed-off retransmission timeout in ms (0 = none)");
+  flags.define("retry-max-attempts", "0",
+               "send attempts per op before giving up and counting the "
+               "request as failed (0 = retry forever)");
+  flags.define("suspicion-rtos", "3",
+               "consecutive retry timeouts before a server is suspected and "
+               "reads fail over to other replicas (0 = off)");
+  flags.define("faults", "",
+               "scripted fault plan, e.g. "
+               "crash@50ms:s3,recover@80ms:s3,partition@20ms:c0-s1,"
+               "heal@30ms:c0-s1,slow@10ms-40ms:s2:x0.25,lossburst@5ms-9ms:p0.3");
+  flags.define("chaos-crashes", "0",
+               "chaos generator: crash/recover windows to script randomly");
+  flags.define("chaos-slowdowns", "0",
+               "chaos generator: gray-failure slowdown windows to script");
+  flags.define("chaos-partitions", "0",
+               "chaos generator: client-server partition windows to script");
+  flags.define("chaos-seed", "1", "seed of the chaos fault generator");
   flags.define("hedge-ms", "0",
                "hedged-read delay in ms (0 = off; needs --replication >= 2)");
   flags.define("preemptive", "false",
@@ -264,6 +285,11 @@ int main(int argc, char** argv) {
   cfg.ring_vnodes = static_cast<std::size_t>(flags.get_int("ring-vnodes"));
   cfg.msg_loss_probability = flags.get_double("loss");
   cfg.retry_timeout_us = flags.get_double("retry-ms") * kMillisecond;
+  cfg.retry_backoff_max_us = flags.get_double("backoff-cap-ms") * kMillisecond;
+  cfg.retry_max_attempts =
+      static_cast<std::uint32_t>(flags.get_int("retry-max-attempts"));
+  cfg.suspicion_rto_threshold =
+      static_cast<std::uint32_t>(flags.get_int("suspicion-rtos"));
   cfg.hedge_delay_us = flags.get_double("hedge-ms") * kMillisecond;
   cfg.preemptive_service = flags.get_bool("preemptive");
   cfg.write_fraction = flags.get_double("write-fraction");
@@ -282,6 +308,35 @@ int main(int argc, char** argv) {
   core::RunWindow window;
   window.warmup_us = flags.get_double("warmup-ms") * kMillisecond;
   window.measure_us = flags.get_double("measure-ms") * kMillisecond;
+
+  // Fault timeline: scripted spec and/or seeded chaos windows (appended, then
+  // re-sorted so the combined plan stays time-ordered).
+  try {
+    const std::string fault_spec = flags.get_string("faults");
+    if (!fault_spec.empty()) cfg.fault_plan = fault::parse_fault_plan(fault_spec);
+    fault::ChaosOptions chaos;
+    chaos.horizon_us = window.horizon();
+    chaos.num_servers = static_cast<std::uint32_t>(cfg.num_servers);
+    chaos.num_clients = static_cast<std::uint32_t>(cfg.num_clients);
+    chaos.crashes = static_cast<std::uint32_t>(flags.get_int("chaos-crashes"));
+    chaos.slowdowns = static_cast<std::uint32_t>(flags.get_int("chaos-slowdowns"));
+    chaos.partitions = static_cast<std::uint32_t>(flags.get_int("chaos-partitions"));
+    if (chaos.crashes + chaos.slowdowns + chaos.partitions > 0) {
+      const fault::FaultPlan generated = fault::make_chaos_plan(
+          chaos, static_cast<std::uint64_t>(flags.get_int("chaos-seed")));
+      cfg.fault_plan.events.insert(cfg.fault_plan.events.end(),
+                                   generated.events.begin(),
+                                   generated.events.end());
+      std::stable_sort(cfg.fault_plan.events.begin(), cfg.fault_plan.events.end(),
+                       [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                         return a.at < b.at;
+                       });
+    }
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
 
   std::vector<sched::Policy> policies;
   try {
@@ -352,6 +407,24 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   };
 
+  // Graceful-degradation accounting, shown whenever a fault plan ran.
+  const auto print_degradation = [&runs] {
+    Table table{{"policy", "availability", "completed", "failed", "failover ok",
+                 "ops failed-over", "abandoned", "suspicions", "crash-dropped"}};
+    for (const auto& [policy, r] : runs) {
+      table.add_row({sched::to_string(policy), Table::fmt(r.availability, 4),
+                     std::to_string(r.requests_completed),
+                     std::to_string(r.requests_failed),
+                     std::to_string(r.requests_completed_after_failover),
+                     std::to_string(r.ops_failed_over),
+                     std::to_string(r.ops_abandoned),
+                     std::to_string(r.suspicions_raised),
+                     std::to_string(r.ops_dropped_crashed)});
+    }
+    std::cout << "== graceful degradation ==\n";
+    table.print(std::cout);
+  };
+
   if (format == "csv") {
     std::cout << "policy,requests,mean_rct_us,p50_us,p95_us,p99_us,p999_us,"
                  "mean_util,max_util,net_msgs,progress_msgs\n";
@@ -363,6 +436,7 @@ int main(int argc, char** argv) {
                 << ',' << r.net_messages << ',' << r.progress_messages << '\n';
     }
     if (flags.get_bool("breakdown")) print_breakdown();
+    if (!cfg.fault_plan.empty()) print_degradation();
     return 0;
   }
   if (format != "table") {
@@ -383,5 +457,6 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   if (flags.get_bool("breakdown")) print_breakdown();
+  if (!cfg.fault_plan.empty()) print_degradation();
   return 0;
 }
