@@ -70,7 +70,7 @@ const core::ExperimentResult& Collector::run(const std::string& experiment,
                                              const core::RunWindow& window) {
   const std::string key = memo_key(experiment, point, policy);
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const das::MutexLock lock{mutex_};
     const auto it = index_.find(key);
     if (it != index_.end()) return rows_[it->second].result;
   }
@@ -87,7 +87,7 @@ const core::ExperimentResult& Collector::run(const std::string& experiment,
   row.seed = run_cfg.seed;
   row.result = core::run_experiment(run_cfg, window);
 
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const das::MutexLock lock{mutex_};
   return *insert_locked(key, std::move(row));
 }
 
@@ -100,13 +100,18 @@ void Collector::insert(const std::string& experiment, const std::string& point,
   row.policy = policy;
   row.seed = seed;
   row.result = result;
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const das::MutexLock lock{mutex_};
   insert_locked(memo_key(experiment, point, policy), std::move(row));
+}
+
+std::deque<Row> Collector::rows() const {
+  const das::MutexLock lock{mutex_};
+  return rows_;
 }
 
 std::vector<core::SweepOutcome> Collector::outcomes(
     const std::string& experiment) const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const das::MutexLock lock{mutex_};
   std::vector<core::SweepOutcome> out;
   for (const Row& row : rows_) {
     if (row.experiment != experiment) continue;
@@ -150,7 +155,7 @@ double Collector::metric_value(const core::ExperimentResult& r,
 
 void Collector::print_table(std::ostream& os, const std::string& experiment,
                             const std::string& metric) const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const das::MutexLock lock{mutex_};
   // Column order: policies in first-seen order; rows: points in first-seen
   // order. Adds a "DAS vs FCFS" gain column when both are present.
   std::vector<std::string> points;

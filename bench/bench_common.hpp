@@ -21,10 +21,10 @@
 #include <deque>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/bench_json.hpp"
 #include "core/sweep.hpp"
 #include "das.hpp"
@@ -81,16 +81,20 @@ class Collector {
   /// Rows of one experiment, in first-computed order, as JSON-emitter input.
   std::vector<das::core::SweepOutcome> outcomes(const std::string& experiment) const;
 
-  const std::deque<Row>& rows() const { return rows_; }
+  /// Snapshot of every collected row, in first-computed order.
+  std::deque<Row> rows() const;
 
  private:
   double metric_value(const das::core::ExperimentResult& r,
                       const std::string& metric) const;
-  const das::core::ExperimentResult* insert_locked(const std::string& key, Row row);
+  const das::core::ExperimentResult* insert_locked(const std::string& key,
+                                                   Row row)
+      DAS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::size_t> index_;  // key -> rows_ position
-  std::deque<Row> rows_;                      // deque: stable references
+  mutable das::Mutex mutex_;
+  std::map<std::string, std::size_t> index_
+      DAS_GUARDED_BY(mutex_);  // key -> rows_ position
+  std::deque<Row> rows_ DAS_GUARDED_BY(mutex_);  // deque: stable references
 };
 
 /// Every point handed to register_point, in registration order — the grid

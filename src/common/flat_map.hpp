@@ -276,4 +276,30 @@ class FlatMap {
   std::size_t size_ = 0;
 };
 
+/// Membership-only companion to FlatMap: same open-addressing table, same
+/// deterministic fixed mixer, keyed by an integral id with no mapped value.
+/// Exists so "was this handle/key seen" sets need not reach for
+/// std::unordered_set (banned by das-deterministic-containers: its iteration
+/// order is stdlib-specific, and even membership-only uses invite someone to
+/// iterate it later).
+template <typename K>
+class FlatSet {
+ public:
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  bool contains(K key) const { return map_.contains(key); }
+
+  /// Inserts `key`; returns true when it was not already present (the
+  /// std::set::insert().second contract call sites rely on).
+  bool insert(K key) { return map_.emplace(key).second; }
+
+  std::size_t erase(K key) { return map_.erase(key); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+ private:
+  struct Empty {};
+  FlatMap<K, Empty> map_;
+};
+
 }  // namespace das

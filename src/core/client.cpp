@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/flat_map.hpp"
 
 namespace das::core {
 
@@ -22,7 +24,12 @@ Client::Client(sim::Simulator& sim, Params params, Rng rng,
       key_sizes_(key_sizes),
       metrics_(metrics),
       send_op_(std::move(send_op)),
-      send_progress_(std::move(send_progress)) {
+      send_progress_(std::move(send_progress)),
+      // Fork the jitter stream off a COPY so the workload stream of rng_ is
+      // untouched: runs without retries stay bit-identical to older builds.
+      // Seeded in the init list — retry_rng_ is never default-constructed
+      // (das-rng-discipline).
+      retry_rng_(Rng{rng_}.fork(0xBAC0FFull + params_.id)) {
   DAS_CHECK(params_.num_servers >= 1);
   DAS_CHECK(arrivals_ != nullptr);
   DAS_CHECK(send_op_ != nullptr);
@@ -32,10 +39,6 @@ Client::Client(sim::Simulator& sim, Params params, Rng rng,
   mu_est_.assign(params_.num_servers, 1.0);
   rto_strikes_.assign(params_.num_servers, 0);
   suspected_.assign(params_.num_servers, 0);
-  // Fork the jitter stream off a COPY so the workload stream of rng_ is
-  // untouched: runs without retries stay bit-identical to older builds.
-  Rng jitter_parent = rng_;
-  retry_rng_ = jitter_parent.fork(0xBAC0FFull + params_.id);
 }
 
 void Client::start(SimTime horizon) { schedule_next_arrival(horizon); }
@@ -165,7 +168,10 @@ void Client::generate_request() {
     double demand = 0;
     SimTime max_full_estimate = 0;
   };
-  std::unordered_map<ServerId, ServerAgg> per_server;
+  // FlatMap, not unordered_map: only max/sum aggregation below, so iteration
+  // order cannot leak into results — but FlatMap's order is at least
+  // deterministic across standard libraries.
+  FlatMap<ServerId, ServerAgg> per_server;
   double total_demand = 0;
   double critical_us = 0;
   for (const PlannedOp& planned : plan) {
@@ -467,14 +473,27 @@ void Client::on_response(const OpResponse& resp) {
   // enough to change scheduling decisions.
   double new_critical = 0;
   double remaining_demand = 0;
-  std::unordered_map<ServerId, SimTime> server_max_full;
+  // Iteration order below decides the order progress updates hit the
+  // network (event sequence numbers!), so this must NOT be an unordered
+  // container: libstdc++ and libc++ would send in different orders and
+  // produce different results. First-touch order — the order ops appear in
+  // the request — is deterministic everywhere. A request touches few
+  // distinct servers (fan-out mean 8), so the linear scan is cheap.
+  std::vector<std::pair<ServerId, SimTime>> server_max_full;
   for (const PendingOp& op : req.ops) {
     if (op.done) continue;
     remaining_demand += op.demand_us;
     new_critical =
         std::max(new_critical, service_estimate_us(op.server, op.demand_us));
-    SimTime& m = server_max_full[op.server];
-    m = std::max(m, full_estimate(now, op.server, op.demand_us));
+    const auto slot = std::find_if(
+        server_max_full.begin(), server_max_full.end(),
+        [&](const auto& entry) { return entry.first == op.server; });
+    const SimTime est = full_estimate(now, op.server, op.demand_us);
+    if (slot == server_max_full.end()) {
+      server_max_full.emplace_back(op.server, est);
+    } else {
+      slot->second = std::max(slot->second, est);
+    }
   }
   // Send when either the critical path (DAS's key) or the total remaining
   // (ReqSRPT's key) moved by more than the threshold, relative to its last

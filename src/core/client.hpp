@@ -9,9 +9,9 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/config.hpp"
@@ -188,8 +188,10 @@ class Client {
 
   std::vector<double> d_est_;
   std::vector<double> mu_est_;
-  std::unordered_map<RequestId, PendingRequest> pending_;
-  std::unordered_map<OperationId, RequestId> op_to_request_;
+  // Lookup-only tables (never iterated): FlatMap keeps them deterministic
+  // across standard libraries and off the per-response allocation path.
+  FlatMap<RequestId, PendingRequest> pending_;
+  FlatMap<OperationId, RequestId> op_to_request_;
 
   /// Jitter stream for retry backoff, forked off a COPY of the client RNG at
   /// construction so the workload draws stay bit-identical to jitter-free

@@ -304,7 +304,9 @@ ExperimentResult Cluster::run() {
   DAS_CHECK_MSG(!ran_, "Cluster::run is single-shot");
   ran_ = true;
 
-  const auto wall_start = std::chrono::steady_clock::now();
+  // Wall-clock (not sim-time) bracket around the run: reports host
+  // throughput only, never feeds back into simulation state.
+  const auto wall_start = std::chrono::steady_clock::now();  // NOLINT(das-no-wallclock)
   // Script the fault timeline before workload generation begins; each event
   // is an ordinary simulator event, so faults interleave deterministically
   // with the workload.
@@ -313,7 +315,7 @@ ExperimentResult Cluster::run() {
   }
   for (auto& client : clients_) client->start(window_.horizon());
   sim_.run();
-  const auto wall_end = std::chrono::steady_clock::now();
+  const auto wall_end = std::chrono::steady_clock::now();  // NOLINT(das-no-wallclock)
 
   ExperimentResult result;
   result.rct = metrics_.rct().summary();

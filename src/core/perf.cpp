@@ -16,6 +16,9 @@ namespace das::core {
 
 namespace {
 
+// NOLINTBEGIN(das-no-wallclock): this file IS the wall-clock harness — it
+// measures host events/sec for BENCH_PERF.json. Simulation results never
+// depend on these readings.
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
@@ -145,6 +148,8 @@ PerfPoint run_cluster_point(const char* name, sched::Policy policy,
   DAS_CHECK(result.requests_completed == result.requests_generated);
   return finish_point(name, cluster.simulator(), start);
 }
+
+// NOLINTEND(das-no-wallclock)
 
 }  // namespace
 

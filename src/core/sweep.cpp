@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstddef>
 #include <exception>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace das::core {
 
@@ -65,15 +67,41 @@ std::size_t SweepRunner::add(std::string experiment, std::string point,
   return add(std::move(p));
 }
 
+namespace {
+
+/// Failure channel shared by the sweep workers. Deterministic despite the
+/// races: whichever worker fails, only the lowest-indexed failing point's
+/// exception survives to be rethrown. The mutex-guarded members carry
+/// thread-safety annotations so `-Wthread-safety` proves every access locks.
+struct FirstError {
+  Mutex mu;
+  std::size_t index DAS_GUARDED_BY(mu) = static_cast<std::size_t>(-1);
+  std::exception_ptr error DAS_GUARDED_BY(mu);
+
+  void offer(std::size_t i, std::exception_ptr e) DAS_EXCLUDES(mu) {
+    const MutexLock lock{mu};
+    if (i < index) {
+      index = i;
+      error = std::move(e);
+    }
+  }
+  std::exception_ptr take() DAS_EXCLUDES(mu) {
+    const MutexLock lock{mu};
+    return error;
+  }
+};
+
+}  // namespace
+
 std::vector<SweepOutcome> SweepRunner::run(std::size_t jobs) const {
   std::vector<SweepOutcome> outcomes(points_.size());
   if (points_.empty()) return outcomes;
 
-  // Each slot is written by exactly one worker (the one that claimed the
-  // index) and read only after every worker joined, so outcomes/errors need
-  // no locking; `next` is the only shared mutable word.
+  // Each outcome slot is written by exactly one worker (the one that claimed
+  // the index) and read only after every worker joined, so outcomes need no
+  // locking; `next` is the only shared mutable word on the success path.
   std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(points_.size());
+  FirstError first_error;
 
   const auto worker = [&] {
     for (;;) {
@@ -91,7 +119,7 @@ std::vector<SweepOutcome> SweepRunner::run(std::size_t jobs) const {
         out.result = run_experiment(cfg, p.window);
         outcomes[i] = std::move(out);
       } catch (...) {
-        errors[i] = std::current_exception();
+        first_error.offer(i, std::current_exception());
       }
     }
   };
@@ -108,8 +136,7 @@ std::vector<SweepOutcome> SweepRunner::run(std::size_t jobs) const {
 
   // Deterministic failure too: always the lowest-indexed failing point,
   // independent of worker interleaving.
-  for (const std::exception_ptr& err : errors)
-    if (err) std::rethrow_exception(err);
+  if (std::exception_ptr err = first_error.take()) std::rethrow_exception(err);
   return outcomes;
 }
 

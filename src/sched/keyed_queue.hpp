@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <set>
-#include <unordered_set>
 #include <utility>
 
 #include "common/check.hpp"
@@ -102,10 +101,10 @@ class KeyedQueue : public Auditable {
   /// the next to be issued.
   void check_invariants() const override {
     DAS_AUDIT(order_.size() == ops_.size(), "KeyedQueue order/ops size desync");
-    std::unordered_set<Handle> seen;
+    FlatSet<Handle> seen;  // membership only, never iterated
     seen.reserve(order_.size());
     for (const OrderEntry& entry : order_) {
-      DAS_AUDIT(seen.insert(entry.handle).second,
+      DAS_AUDIT(seen.insert(entry.handle),
                 "KeyedQueue handle ordered under two keys");
       DAS_AUDIT(ops_.contains(entry.handle),
                 "KeyedQueue order entry without a stored op");

@@ -6,9 +6,9 @@
 #include <ostream>
 #include <set>
 #include <sstream>
-#include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/flat_map.hpp"
 
 namespace das::trace {
 
@@ -97,7 +97,7 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
   // Ops currently shown inside an async "deferred" span; lets the writer
   // close spans for ops served straight out of the deferred set (no resume
   // event) and keep begin/end balanced.
-  std::unordered_set<OperationId> deferred_open;
+  FlatSet<OperationId> deferred_open;  // membership only, never iterated
   const auto close_deferred = [&](const TraceEvent& ev) {
     if (deferred_open.erase(ev.op) == 0) return;
     std::ostringstream extra;
@@ -136,7 +136,7 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
         event(os, first, "t", server_pid(ev.server), 0, ev.t, extra.str());
         break;
       case EventKind::kOpDefer:
-        if (deferred_open.insert(ev.op).second) {
+        if (deferred_open.insert(ev.op)) {
           extra << R"(, "cat": "deferred", "name": "deferred", "id": )";
           id_str(extra, ev.op);
           extra << R"(, "args": {"request": )";

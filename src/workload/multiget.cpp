@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
-#include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/flat_map.hpp"
 #include "store/hash_table.hpp"
 
 namespace das::workload {
@@ -35,7 +35,7 @@ MultigetSpec MultigetGenerator::generate(Rng& rng) const {
   const auto want = static_cast<std::size_t>(want64);
   MultigetSpec spec;
   spec.keys.reserve(want);
-  std::unordered_set<KeyId> seen;
+  FlatSet<KeyId> seen;  // membership only, never iterated
   seen.reserve(want * 2);
   // Rejection-sample distinct keys; bounded because want <= universe. After a
   // generous number of misses (heavy skew + large fan-out), fall back to
@@ -45,12 +45,12 @@ MultigetSpec MultigetGenerator::generate(Rng& rng) const {
   while (spec.keys.size() < want && attempts < max_attempts) {
     ++attempts;
     const KeyId key = key_for_rank(zipf_.sample(rng));
-    if (seen.insert(key).second) spec.keys.push_back(key);
+    if (seen.insert(key)) spec.keys.push_back(key);
   }
   for (std::uint64_t rank = 0; spec.keys.size() < want; ++rank) {
     DAS_CHECK(rank < config_.key_universe);
     const KeyId key = key_for_rank(rank);
-    if (seen.insert(key).second) spec.keys.push_back(key);
+    if (seen.insert(key)) spec.keys.push_back(key);
   }
   return spec;
 }

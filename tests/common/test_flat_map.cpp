@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -206,6 +207,42 @@ TEST(FlatMap, IterationOrderIsDeterministic) {
   for (const auto& [k, v] : a) ka.push_back(k);
   for (const auto& [k, v] : b) kb.push_back(k);
   EXPECT_EQ(ka, kb);
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet<std::uint32_t> set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_FALSE(set.insert(7));  // duplicate: reports already-present
+  EXPECT_TRUE(set.insert(9));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(8));
+  EXPECT_EQ(set.erase(7), 1u);
+  EXPECT_EQ(set.erase(7), 0u);
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.contains(9));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(9));
+}
+
+TEST(FlatSet, MatchesReferenceSetUnderChurn) {
+  FlatSet<std::uint64_t> flat;
+  std::set<std::uint64_t> ref;
+  Rng rng{11};
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t key = rng.next_u64() % 512;
+    if (rng.uniform(0.0, 1.0) < 0.6) {
+      EXPECT_EQ(flat.insert(key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(flat.erase(key), ref.erase(key));
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    EXPECT_EQ(flat.contains(key), ref.count(key) == 1);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+// das-audit-coverage must flag Leaf: it adds state but silently inherits a
+// non-final check_invariants(), so audits never see `extra_`.
+#include "stubs.hpp"
+
+namespace fix {
+
+class Mid : public das::Auditable {
+ public:
+  void check_invariants() const override {}  // fine: declared here
+};
+
+class Leaf : public Mid {  // BAD: new state, inherited non-final audit
+ public:
+  int extra_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,39 @@
+// Every concrete Auditable here either overrides check_invariants() or
+// inherits a final one: das-audit-coverage stays silent.
+#include "stubs.hpp"
+
+namespace fix {
+
+class Mid : public das::Auditable {
+ public:
+  void check_invariants() const override {}
+};
+
+class Leaf : public Mid {
+ public:
+  void check_invariants() const override { Mid::check_invariants(); }
+  int extra_ = 0;
+};
+
+/// The SchedulerBase pattern: the base's final override closes the audit
+/// question for the subtree by routing it through a hook.
+class Base : public das::Auditable {
+ public:
+  void check_invariants() const final { check_policy_invariants(); }
+
+ protected:
+  virtual void check_policy_invariants() const {}
+};
+
+class Policy : public Base {  // fine: Base's final override covers it
+ protected:
+  void check_policy_invariants() const override {}
+};
+
+/// Abstract classes are exempt; their concrete descendants stay on the hook.
+class StillAbstract : public das::Auditable {
+ public:
+  virtual void extra_hook() const = 0;
+};
+
+}  // namespace fix

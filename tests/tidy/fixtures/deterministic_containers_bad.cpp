@@ -1,0 +1,14 @@
+// das-deterministic-containers must flag each hash-ordered container here.
+#include "stubs.hpp"
+
+struct Registry {
+  std::unordered_map<int, double> by_id;  // member
+  std::unordered_set<int> seen;           // member
+};
+
+int count_locals() {
+  std::unordered_map<long, long> local;   // local
+  using Index = std::unordered_set<int>;  // alias
+  Index idx;                              // and its use
+  return static_cast<int>(idx.insert(1));
+}

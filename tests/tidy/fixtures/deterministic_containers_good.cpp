@@ -1,0 +1,11 @@
+// Deterministic containers, plus the sanctioned NOLINT escape for a
+// lookup-only table: das-deterministic-containers stays silent here.
+#include "stubs.hpp"
+
+struct Registry {
+  das::FlatMap<int, double> by_id;
+  das::FlatSet<int> seen;
+  std::map<int, double> ordered;  // ordered: iteration order is the key order
+  // Lookup-only: populated once, never iterated, so its order never leaks.
+  std::unordered_map<int, int> memo;  // NOLINT(das-deterministic-containers): lookup-only cache, never iterated
+};

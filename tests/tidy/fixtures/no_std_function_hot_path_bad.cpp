@@ -1,0 +1,16 @@
+// das-no-std-function-hot-path must flag each std::function mention inside
+// the hot-path namespaces (default option: das::sim;das::sched;das::net).
+#include "stubs.hpp"
+
+namespace das::sim {
+struct Event {
+  std::function<void()> callback;  // hot path: member
+};
+void dispatch(std::function<void()> cb) { cb(); }  // hot path: parameter
+}  // namespace das::sim
+
+namespace das {
+namespace net {
+using Handler = std::function<void(int)>;  // hot path: alias (nested spelling)
+}  // namespace net
+}  // namespace das

@@ -1,0 +1,17 @@
+// SmallFn on the hot path, std::function only outside it:
+// das-no-std-function-hot-path stays silent here.
+#include "stubs.hpp"
+
+namespace das::sim {
+struct Event {
+  das::SmallFn<void()> callback;  // fixed-capacity, no heap, single indirection
+};
+void dispatch(const das::SmallFn<void()>& cb) { cb(); }
+}  // namespace das::sim
+
+namespace das::core {
+// Setup-time wiring: not a hot-path namespace, flexibility wins.
+struct Harness {
+  std::function<void(int)> on_response;
+};
+}  // namespace das::core

@@ -1,0 +1,21 @@
+// das-no-wallclock must flag every wall-clock / ambient-entropy use here.
+#include "stubs.hpp"
+
+long read_host_time() {
+  return std::chrono::steady_clock::now();  // banned type mention
+}
+
+long read_epoch() {
+  using Clock = std::chrono::system_clock;  // banned even behind an alias
+  return Clock::now();
+}
+
+unsigned ambient_entropy() {
+  std::random_device rd;  // banned hardware entropy
+  return rd();
+}
+
+int libc_randomness() {
+  ::srand(static_cast<unsigned>(::time(nullptr)));  // two banned calls
+  return ::rand();                                  // and a third
+}

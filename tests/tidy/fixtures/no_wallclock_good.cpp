@@ -1,0 +1,9 @@
+// The sanctioned sources of time and randomness: das-no-wallclock stays
+// silent on this file.
+#include "stubs.hpp"
+
+double simulated_draw(double sim_now_us) {
+  das::Rng rng{42};                      // explicit seed: reproducible
+  das::Rng stream = rng.fork(7);        // derived stream: still reproducible
+  return sim_now_us + stream.uniform(1.0, 10.0);
+}

@@ -1,0 +1,18 @@
+// das-rng-discipline must flag every construction here.
+#include "stubs.hpp"
+
+double sample() {
+  das::Rng rng;  // default seed: silently shares the library-default stream
+  return rng.uniform(0.0, 1.0);
+}
+
+struct Component {
+  Component() {}  // rng_ omitted from the init list: implicitly default-seeded
+  das::Rng rng_;
+};
+
+unsigned std_engine() {
+  std::mt19937 twister;  // unsanctioned engine, stdlib-specific distributions
+  (void)twister;
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Disciplined RNG use: explicit seeds, forked streams, copies of existing
+// streams. das-rng-discipline stays silent here.
+#include "stubs.hpp"
+
+struct Component {
+  explicit Component(das::Rng rng) : rng_(rng.fork(0xC0117)) {}
+  das::Rng rng_;
+};
+
+double sample(unsigned long long seed) {
+  das::Rng rng{seed};           // explicit seed
+  das::Rng copy = rng;          // copying an existing stream is fine
+  Component c{rng.fork(1)};     // forked stream
+  return copy.uniform(0.0, 1.0);
+}

@@ -1,0 +1,117 @@
+// Hermetic stand-ins for the std:: and das:: declarations the das- check
+// fixtures exercise. Fixtures compile against this header only — no system
+// headers — so the fixture tests run in milliseconds and behave identically
+// on every host stdlib. Shapes (names, namespaces, default arguments) mirror
+// the real declarations; bodies are irrelevant to the AST matchers.
+#pragma once
+
+namespace std {
+
+namespace chrono {
+struct system_clock {
+  static long now();
+};
+struct steady_clock {
+  static long now();
+};
+struct high_resolution_clock {
+  static long now();
+};
+}  // namespace chrono
+
+struct random_device {
+  random_device();
+  unsigned operator()();
+};
+
+template <unsigned long long... Params>
+struct mersenne_twister_engine {
+  mersenne_twister_engine();
+};
+using mt19937 = mersenne_twister_engine<32, 624>;
+
+template <typename K, typename V>
+struct unordered_map {
+  V& operator[](const K&);
+};
+template <typename K>
+struct unordered_set {
+  bool insert(const K&);
+};
+template <typename K, typename V>
+struct unordered_multimap {};
+template <typename K>
+struct unordered_multiset {};
+
+template <typename K, typename V>
+struct map {
+  V& operator[](const K&);
+};
+template <typename K>
+struct set {
+  bool insert(const K&);
+};
+
+template <typename Sig>
+class function;
+template <typename R, typename... Args>
+class function<R(Args...)> {
+ public:
+  function();
+  template <typename F>
+  function(F);  // NOLINT(google-explicit-constructor)
+  R operator()(Args...) const;
+};
+
+long time(long*);
+int rand();
+void srand(unsigned);
+
+}  // namespace std
+
+extern "C" {
+long time(long*);
+int rand();
+void srand(unsigned);
+}
+
+namespace das {
+
+/// Mirrors src/common/rng.hpp: explicit ctor with a defaulted seed, so
+/// `Rng r;` still goes through a CXXConstructExpr with a CXXDefaultArgExpr.
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed = 0x9E3779B97F4A7C15ull);
+  Rng fork(unsigned long long tag);
+  double uniform(double lo, double hi);
+};
+
+class Auditable {
+ public:
+  virtual ~Auditable();
+  virtual void check_invariants() const = 0;
+};
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  V& operator[](const K&);
+};
+template <typename K>
+class FlatSet {
+ public:
+  bool insert(K);
+};
+
+template <typename Sig>
+class SmallFn;
+template <typename R, typename... Args>
+class SmallFn<R(Args...)> {
+ public:
+  SmallFn();
+  template <typename F>
+  SmallFn(F);  // NOLINT(google-explicit-constructor)
+  R operator()(Args...) const;
+};
+
+}  // namespace das

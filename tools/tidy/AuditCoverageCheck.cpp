@@ -1,0 +1,72 @@
+#include "AuditCoverageCheck.h"
+
+#include "clang/AST/Attr.h"
+#include "clang/AST/DeclCXX.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::das {
+
+namespace {
+
+bool is_check_invariants(const CXXMethodDecl* method) {
+  const IdentifierInfo* id = method->getIdentifier();
+  return id != nullptr && id->getName() == "check_invariants";
+}
+
+/// Does `record` itself declare check_invariants()?
+bool declares_check_invariants(const CXXRecordDecl* record) {
+  for (const CXXMethodDecl* method : record->methods()) {
+    if (is_check_invariants(method)) return true;
+  }
+  return false;
+}
+
+/// Does any (transitive) base of `record` declare a `final`
+/// check_invariants()? A final override closes the audit question for the
+/// whole subtree below it.
+bool inherits_final_check_invariants(const CXXRecordDecl* record) {
+  for (const CXXBaseSpecifier& base : record->bases()) {
+    const CXXRecordDecl* base_record = base.getType()->getAsCXXRecordDecl();
+    if (base_record == nullptr) continue;
+    base_record = base_record->getDefinition();
+    if (base_record == nullptr) continue;
+    for (const CXXMethodDecl* method : base_record->methods()) {
+      if (is_check_invariants(method) && method->hasAttr<FinalAttr>())
+        return true;
+    }
+    if (inherits_final_check_invariants(base_record)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void AuditCoverageCheck::registerMatchers(MatchFinder* Finder) {
+  // Concrete definitions only: an abstract class without check_invariants()
+  // is fine (its concrete descendants are still on the hook), and forward
+  // declarations cannot be judged.
+  Finder->addMatcher(
+      cxxRecordDecl(isDefinition(), unless(isAbstract()),
+                    unless(isExpansionInSystemHeader()),
+                    isDerivedFrom(cxxRecordDecl(hasName("::das::Auditable"))))
+          .bind("record"),
+      this);
+}
+
+void AuditCoverageCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* record = Result.Nodes.getNodeAs<CXXRecordDecl>("record");
+  if (record == nullptr) return;
+  if (declares_check_invariants(record)) return;
+  if (inherits_final_check_invariants(record)) return;
+  const SourceLocation loc = record->getLocation();
+  if (!loc.isValid() || !deduper_.first(loc, *Result.SourceManager)) return;
+  diag(loc,
+       "%0 derives das::Auditable but neither overrides check_invariants() "
+       "nor inherits a final one; its own state is invisible to audits — "
+       "override it (call the base version first), or derive from a base "
+       "whose final check_invariants() delegates to a hook you override")
+      << record;
+}
+
+}  // namespace clang::tidy::das

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "DasTidyUtils.h"
+
+namespace clang::tidy::das {
+
+/// das-audit-coverage: every concrete class in the das::Auditable hierarchy
+/// must say where its invariants are checked. A class that adds state but
+/// silently inherits a base's check_invariants() gets audited against the
+/// base's invariants only — the chaos harness then "passes" audits that
+/// never looked at the new fields. Compliance is either (a) declaring
+/// check_invariants() in the class itself, or (b) inheriting an
+/// implementation marked `final` (the SchedulerBase pattern, which routes
+/// subclass invariants through check_policy_invariants()).
+class AuditCoverageCheck : public ClangTidyCheck {
+ public:
+  AuditCoverageCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+
+ private:
+  LocationDeduper deduper_;
+};
+
+}  // namespace clang::tidy::das

@@ -1,0 +1,44 @@
+// The das- clang-tidy module: project-specific determinism and audit
+// discipline, enforced at analysis time.
+//
+// Built as an out-of-tree plugin; load with
+//   clang-tidy --load=$BUILD/tools/tidy/libdas_tidy_checks.so \
+//              --checks='das-*' ...
+// (tools/run_tidy.sh does this automatically when the plugin was built).
+// The registry entry below is what makes `--list-checks` show the das-
+// checks once the plugin is loaded.
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "AuditCoverageCheck.h"
+#include "DeterministicContainersCheck.h"
+#include "NoStdFunctionHotPathCheck.h"
+#include "NoWallclockCheck.h"
+#include "RngDisciplineCheck.h"
+
+namespace clang::tidy {
+namespace das {
+
+class DasTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& Factories) override {
+    Factories.registerCheck<NoWallclockCheck>("das-no-wallclock");
+    Factories.registerCheck<DeterministicContainersCheck>(
+        "das-deterministic-containers");
+    Factories.registerCheck<RngDisciplineCheck>("das-rng-discipline");
+    Factories.registerCheck<NoStdFunctionHotPathCheck>(
+        "das-no-std-function-hot-path");
+    Factories.registerCheck<AuditCoverageCheck>("das-audit-coverage");
+  }
+};
+
+}  // namespace das
+
+static ClangTidyModuleRegistry::Add<das::DasTidyModule> X(
+    "das-module", "DAS simulator determinism and audit-coverage checks.");
+
+// Referenced nowhere; its presence keeps the registration object above from
+// being dropped by aggressive linkers.
+volatile int DasTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

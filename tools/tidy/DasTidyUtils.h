@@ -1,0 +1,36 @@
+// Shared helpers for the das- clang-tidy checks.
+//
+// The checks are built as an out-of-tree plugin (see CMakeLists.txt in this
+// directory) loaded into the host clang-tidy with `--load`. They therefore
+// stick to the stable subset of the ClangTidyCheck / ASTMatchers API that is
+// identical across LLVM 14..19: no isPureVirtual()/isPure() (renamed in 18),
+// no AST matcher added after 14, qualified hasAnyName everywhere.
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang/Basic/SourceManager.h"
+
+namespace clang::tidy::das {
+
+/// TypeLoc-based matchers fire once per spelling layer (elaborated type,
+/// typedef sugar, template argument...), so a single `std::unordered_map`
+/// mention can match several times at the same location. Checks keep one of
+/// these per check instance and bail out on repeats.
+class LocationDeduper {
+ public:
+  /// True the first time `loc` is seen (after mapping through macros).
+  bool first(SourceLocation loc, const SourceManager& sm) {
+    const SourceLocation file_loc = sm.getFileLoc(loc);
+    return seen_.insert({sm.getFileID(file_loc).getHashValue(),
+                         sm.getFileOffset(file_loc)})
+        .second;
+  }
+
+ private:
+  std::set<std::pair<unsigned, unsigned>> seen_;
+};
+
+}  // namespace clang::tidy::das

@@ -1,0 +1,37 @@
+#include "DeterministicContainersCheck.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::das {
+
+void DeterministicContainersCheck::registerMatchers(MatchFinder* Finder) {
+  const auto unordered = cxxRecordDecl(hasAnyName(
+      "::std::unordered_map", "::std::unordered_set",
+      "::std::unordered_multimap", "::std::unordered_multiset"));
+  // Written mentions only (declarations, members, locals, template args);
+  // the desugared alternative catches `using Index = std::unordered_map<..>`
+  // at the point of use as well as at the alias.
+  Finder->addMatcher(
+      typeLoc(loc(qualType(anyOf(
+                  hasDeclaration(unordered),
+                  hasUnqualifiedDesugaredType(
+                      recordType(hasDeclaration(unordered)))))))
+          .bind("type"),
+      this);
+}
+
+void DeterministicContainersCheck::check(
+    const MatchFinder::MatchResult& Result) {
+  const auto* type = Result.Nodes.getNodeAs<TypeLoc>("type");
+  if (type == nullptr) return;
+  const SourceLocation loc = type->getBeginLoc();
+  if (!loc.isValid() || !deduper_.first(loc, *Result.SourceManager)) return;
+  diag(loc,
+       "hash-ordered container %0 is banned in simulation code: its "
+       "iteration order is stdlib-specific and leaks into event ordering; "
+       "use das::FlatMap/das::FlatSet or std::map/std::set, or justify a "
+       "lookup-only table with NOLINT(das-deterministic-containers)")
+      << type->getType().getUnqualifiedType().getAsString();
+}
+
+}  // namespace clang::tidy::das

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "DasTidyUtils.h"
+
+namespace clang::tidy::das {
+
+/// das-deterministic-containers: bans std::unordered_{map,set,multimap,
+/// multiset} in simulation code. Their iteration order depends on the
+/// standard library's hash seed and bucket policy, so any loop over one can
+/// change event ordering — and therefore results — across toolchains. Use
+/// das::FlatMap / das::FlatSet (deterministic open addressing) or the
+/// ordered std::map / std::set. Lookup-only tables that are provably never
+/// iterated may stay, with
+/// `// NOLINT(das-deterministic-containers): <why>`.
+class DeterministicContainersCheck : public ClangTidyCheck {
+ public:
+  DeterministicContainersCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+
+ private:
+  LocationDeduper deduper_;
+};
+
+}  // namespace clang::tidy::das

@@ -1,0 +1,65 @@
+#include "NoStdFunctionHotPathCheck.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::das {
+
+namespace {
+
+/// "das::sim;das::sched" -> "^::das::sim$|^::das::sched$" (matchesName sees
+/// fully qualified names with a leading "::"). Namespace names are
+/// identifier characters and "::" only, so no regex escaping is needed.
+std::string namespaces_to_regex(StringRef raw) {
+  std::string regex;
+  SmallVector<StringRef, 8> parts;
+  raw.split(parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (const StringRef part : parts) {
+    const StringRef name = part.trim();
+    if (name.empty()) continue;
+    if (!regex.empty()) regex += '|';
+    regex += "^::";
+    regex += name.str();
+    regex += '$';
+  }
+  return regex;
+}
+
+}  // namespace
+
+NoStdFunctionHotPathCheck::NoStdFunctionHotPathCheck(StringRef Name,
+                                                     ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      raw_namespaces_(Options.get("HotPathNamespaces",
+                                  "das::sim;das::sched;das::net")),
+      namespace_regex_(namespaces_to_regex(raw_namespaces_)) {}
+
+void NoStdFunctionHotPathCheck::storeOptions(ClangTidyOptions::OptionMap& Opts) {
+  Options.store(Opts, "HotPathNamespaces", raw_namespaces_);
+}
+
+void NoStdFunctionHotPathCheck::registerMatchers(MatchFinder* Finder) {
+  if (namespace_regex_.empty()) return;
+  const auto std_function = cxxRecordDecl(hasName("::std::function"));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(anyOf(
+                  hasDeclaration(std_function),
+                  hasUnqualifiedDesugaredType(
+                      recordType(hasDeclaration(std_function)))))),
+              hasAncestor(namespaceDecl(matchesName(namespace_regex_))))
+          .bind("type"),
+      this);
+}
+
+void NoStdFunctionHotPathCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* type = Result.Nodes.getNodeAs<TypeLoc>("type");
+  if (type == nullptr) return;
+  const SourceLocation loc = type->getBeginLoc();
+  if (!loc.isValid() || !deduper_.first(loc, *Result.SourceManager)) return;
+  diag(loc,
+       "std::function in a hot-path namespace (%0): it heap-allocates on "
+       "large captures and double-indirects every call; use das::SmallFn "
+       "(common/small_fn.hpp) instead")
+      << raw_namespaces_;
+}
+
+}  // namespace clang::tidy::das

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "DasTidyUtils.h"
+
+namespace clang::tidy::das {
+
+/// das-no-std-function-hot-path: std::function heap-allocates once a
+/// capture outgrows its small buffer and always calls through two
+/// indirections; the engine overhaul replaced it with das::SmallFn on every
+/// per-event path. This check keeps it out: any std::function mention
+/// inside a hot-path namespace is an error. The namespace set is the
+/// `HotPathNamespaces` check option (semicolon-separated, default
+/// "das::sim;das::sched;das::net"); das::core keeps std::function for
+/// setup-time wiring where flexibility beats nanoseconds.
+class NoStdFunctionHotPathCheck : public ClangTidyCheck {
+ public:
+  NoStdFunctionHotPathCheck(StringRef Name, ClangTidyContext* Context);
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& Opts) override;
+
+ private:
+  const std::string raw_namespaces_;
+  std::string namespace_regex_;
+  LocationDeduper deduper_;
+};
+
+}  // namespace clang::tidy::das

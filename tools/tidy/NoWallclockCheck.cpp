@@ -1,0 +1,58 @@
+#include "NoWallclockCheck.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::das {
+
+void NoWallclockCheck::registerMatchers(MatchFinder* Finder) {
+  // Any written mention of a banned clock/entropy type — variable types,
+  // template arguments, `using` aliases, nested-name qualifiers in
+  // `steady_clock::now()`. hasAnyName sees through inline namespaces, so
+  // libstdc++'s std::chrono::_V2::steady_clock matches too; the desugared
+  // form catches mentions hidden behind typedefs.
+  const auto banned_record = cxxRecordDecl(
+      hasAnyName("::std::chrono::system_clock", "::std::chrono::steady_clock",
+                 "::std::chrono::high_resolution_clock",
+                 "::std::random_device"));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(anyOf(
+                  hasDeclaration(banned_record),
+                  hasUnqualifiedDesugaredType(
+                      recordType(hasDeclaration(banned_record)))))))
+          .bind("type"),
+      this);
+  // Calls to wall-clock / libc-RNG free functions (their names alone are
+  // harmless; taking the address to call later is not a pattern this
+  // codebase uses).
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::time", "::std::time", "::clock", "::std::clock",
+                   "::gettimeofday", "::clock_gettime", "::timespec_get",
+                   "::rand", "::std::rand", "::srand", "::std::srand",
+                   "::random", "::srandom", "::rand_r", "::drand48"))))
+          .bind("call"),
+      this);
+}
+
+void NoWallclockCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* type = Result.Nodes.getNodeAs<TypeLoc>("type")) {
+    const SourceLocation loc = type->getBeginLoc();
+    if (!loc.isValid() || !deduper_.first(loc, *Result.SourceManager)) return;
+    diag(loc,
+         "wall-clock/entropy type %0 is banned in simulation code; use "
+         "sim::Simulator::now() for time and a seeded das::Rng for "
+         "randomness (host-perf measurement may NOLINT with a reason)")
+        << type->getType().getUnqualifiedType().getAsString();
+    return;
+  }
+  if (const auto* call = Result.Nodes.getNodeAs<CallExpr>("call")) {
+    const SourceLocation loc = call->getBeginLoc();
+    if (!loc.isValid() || !deduper_.first(loc, *Result.SourceManager)) return;
+    diag(loc,
+         "call to wall-clock/ambient-RNG function %0 is banned in "
+         "simulation code; use sim::Simulator::now() / das::Rng instead")
+        << call->getDirectCallee();
+  }
+}
+
+}  // namespace clang::tidy::das

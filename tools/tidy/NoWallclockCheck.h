@@ -1,0 +1,24 @@
+#pragma once
+
+#include "DasTidyUtils.h"
+
+namespace clang::tidy::das {
+
+/// das-no-wallclock: bans wall-clock and ambient-entropy sources inside the
+/// simulator. Simulation code must consume time from sim::Simulator::now()
+/// and randomness from a seeded das::Rng (or a fork() of one); touching
+/// std::chrono clocks, ::time(), std::rand() or std::random_device makes a
+/// run irreproducible. Host-performance measurement code escapes with
+/// `// NOLINT(das-no-wallclock): <why>`.
+class NoWallclockCheck : public ClangTidyCheck {
+ public:
+  NoWallclockCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+
+ private:
+  LocationDeduper deduper_;
+};
+
+}  // namespace clang::tidy::das

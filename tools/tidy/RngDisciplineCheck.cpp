@@ -1,0 +1,63 @@
+#include "RngDisciplineCheck.h"
+
+#include "clang/AST/ExprCXX.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::das {
+
+void RngDisciplineCheck::registerMatchers(MatchFinder* Finder) {
+  // Every non-copy/move construction of das::Rng. Traversal is TK_AsIs by
+  // default, so implicit constructions — a member omitted from a ctor init
+  // list, `Rng{}` in a default member initializer — are matched too.
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(
+                           ofClass(hasName("::das::Rng")),
+                           unless(isCopyConstructor()),
+                           unless(isMoveConstructor()))))
+          .bind("ctor"),
+      this);
+  // std::mersenne_twister_engine & friends: not merely undisciplined but
+  // unsanctioned — distributions over them differ across standard
+  // libraries, so results would not reproduce. Named via both the typedefs
+  // (mt19937) and the engine templates they alias.
+  const auto std_engine = cxxRecordDecl(hasAnyName(
+      "::std::mersenne_twister_engine", "::std::linear_congruential_engine",
+      "::std::subtract_with_carry_engine", "::std::discard_block_engine",
+      "::std::independent_bits_engine", "::std::shuffle_order_engine"));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(anyOf(
+                  hasDeclaration(std_engine),
+                  hasUnqualifiedDesugaredType(
+                      recordType(hasDeclaration(std_engine)))))))
+          .bind("engine"),
+      this);
+}
+
+void RngDisciplineCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* ctor = Result.Nodes.getNodeAs<CXXConstructExpr>("ctor")) {
+    // Explicit-argument constructions are fine; a construction whose every
+    // argument is the default (including zero-arg `Rng r;`) is the silent
+    // shared-stream bug this check exists for.
+    for (const Expr* arg : ctor->arguments()) {
+      if (!isa<CXXDefaultArgExpr>(arg)) return;
+    }
+    const SourceLocation loc = ctor->getBeginLoc();
+    if (!loc.isValid() || !deduper_.first(loc, *Result.SourceManager)) return;
+    diag(loc,
+         "das::Rng constructed with the default seed; pass an explicit "
+         "seed, or derive a stream with fork(tag) so components never "
+         "share one");
+    return;
+  }
+  if (const auto* engine = Result.Nodes.getNodeAs<TypeLoc>("engine")) {
+    const SourceLocation loc = engine->getBeginLoc();
+    if (!loc.isValid() || !deduper_.first(loc, *Result.SourceManager)) return;
+    diag(loc,
+         "standard-library random engine %0 is banned: its distributions "
+         "are stdlib-specific; use das::Rng (stable across toolchains)")
+        << engine->getType().getUnqualifiedType().getAsString();
+  }
+}
+
+}  // namespace clang::tidy::das

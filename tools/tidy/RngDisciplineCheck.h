@@ -1,0 +1,25 @@
+#pragma once
+
+#include "DasTidyUtils.h"
+
+namespace clang::tidy::das {
+
+/// das-rng-discipline: every das::Rng must be constructed from an explicit
+/// seed (or copied/forked from an existing stream). `Rng r;` silently picks
+/// the library's default seed, which makes two independently-written
+/// components share a stream — consuming a draw in one perturbs the other,
+/// the classic accidental-coupling bug that destroys seed-stability.
+/// Also flags std::mt19937 & friends outright: the codebase's only sanctioned
+/// generator is das::Rng (splitmix64/xoshiro, stable across stdlibs).
+class RngDisciplineCheck : public ClangTidyCheck {
+ public:
+  RngDisciplineCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+
+ private:
+  LocationDeduper deduper_;
+};
+
+}  // namespace clang::tidy::das
