@@ -1,0 +1,45 @@
+// E19 (extension) — Replica selection × scheduling, the full cross. PR 7's
+// pluggable selector layer makes replica selection a first-class policy axis;
+// this grid runs all five modes (primary / random / least-delay / tars /
+// power-of-d) against {FCFS, REIN-SBF, DAS} at a moderate and a high load.
+// The interesting question is interaction, not either axis alone: the
+// view-driven selectors (least-delay, tars, power-of-d) feed off the same
+// piggybacked d_hat/mu_hat feedback DAS uses for tagging, so their gains
+// should compound with DAS and shrink under feedback-free FCFS. Skewed
+// popularity plus a straggler replica gives both axes something to exploit.
+#include "bench_common.hpp"
+#include "select/selector.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.zipf_theta = 0.9;
+  cfg.replication = 2;
+  // Average-capacity calibration keeps the arrival rate identical across
+  // selection modes at a given load (it depends only on total demand), so
+  // the rows are comparable; the hottest-server model would re-derive a
+  // different rate for primary vs the spreading modes.
+  cfg.load_calibration = das::core::LoadCalibration::kAverageCapacity;
+  // One half-speed straggler: selection has to learn around it.
+  cfg.server_speed_factors.assign(cfg.num_servers, 1.0);
+  cfg.server_speed_factors[3] = 0.5;
+  const auto window = dasbench::eval_window();
+  const std::vector<das::sched::Policy> policies = {
+      das::sched::Policy::kFcfs, das::sched::Policy::kReinSbf,
+      das::sched::Policy::kDas};
+
+  for (const double load : {0.5, 0.8}) {
+    cfg.target_load = load;
+    for (const das::select::Mode mode : das::select::all_modes()) {
+      cfg.replica_selection = mode;
+      dasbench::register_point(
+          "E19_selection",
+          std::string("sel=") + das::select::to_string(mode) +
+              "/load=" + (load == 0.5 ? "0.5" : "0.8"),
+          cfg, window, policies);
+    }
+  }
+  return dasbench::bench_main(argc, argv, "E19_selection",
+                              {{"Mean RCT by selection mode", "mean"},
+                               {"p99 RCT by selection mode", "p99"},
+                               {"Max server utilisation", "max_util"}});
+}

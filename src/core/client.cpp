@@ -37,6 +37,7 @@ Client::Client(sim::Simulator& sim, Params params, Rng rng,
   DAS_CHECK(params_.ewma_alpha > 0 && params_.ewma_alpha <= 1);
   d_est_.assign(params_.num_servers, 0.0);
   mu_est_.assign(params_.num_servers, 1.0);
+  selector_ = select::make_selector(params_.replica_selection);
   rto_strikes_.assign(params_.num_servers, 0);
   suspected_.assign(params_.num_servers, 0);
 }
@@ -68,46 +69,25 @@ SimTime Client::full_estimate(SimTime now, ServerId server, double demand) const
   return now + params_.est_rtt_us + d + service_estimate_us(server, demand);
 }
 
+select::LearnedView Client::learned_view() const {
+  select::LearnedView view;
+  view.d_est = &d_est_;
+  view.mu_est = &mu_est_;
+  view.suspected = &suspected_;
+  view.est_rtt_us = params_.est_rtt_us;
+  view.adaptive = params_.adaptive;
+  return view;
+}
+
 ServerId Client::pick_server(KeyId key, double demand) {
   if (params_.replication <= 1) return partitioner_.server_for(key);
   const std::vector<ServerId> replicas =
       partitioner_.replicas_for(key, params_.replication);
-  switch (params_.replica_selection) {
-    case ReplicaSelection::kPrimary:
-      return replicas.front();
-    case ReplicaSelection::kRandom:
-      return replicas[rng_.next_below(replicas.size())];
-    case ReplicaSelection::kLeastDelay: {
-      // Suspicion-aware ranking: a replica that stopped answering is skipped
-      // until it responds again. With no suspicion the scan degenerates to
-      // the plain least-delay pick (same tie-break: first replica wins).
-      ServerId best = kInvalidServer;
-      double best_est = 0;
-      for (const ServerId candidate : replicas) {
-        if (suspected_[candidate] != 0) continue;
-        const double est = full_estimate(0, candidate, demand);
-        if (best == kInvalidServer || est < best_est) {
-          best_est = est;
-          best = candidate;
-        }
-      }
-      if (best != kInvalidServer) return best;
-      // Every replica suspected: fall back to plain least-delay rather than
-      // refusing to send.
-      best = replicas.front();
-      best_est = full_estimate(0, best, demand);
-      for (std::size_t i = 1; i < replicas.size(); ++i) {
-        const double est = full_estimate(0, replicas[i], demand);
-        if (est < best_est) {
-          best_est = est;
-          best = replicas[i];
-        }
-      }
-      return best;
-    }
-  }
-  DAS_CHECK_MSG(false, "unknown replica selection");
-  return replicas.front();
+  // The selector draws (if it draws at all) from the client's own workload
+  // stream — exactly the pre-layer behaviour, so legacy modes stay
+  // bit-identical (pinned by GoldenResults.PinnedSelectionGridIsBitExact).
+  return selector_->pick(replicas, learned_view(),
+                         {demand, key, sim_.now()}, rng_);
 }
 
 void Client::generate_request() {
@@ -264,20 +244,13 @@ void Client::arm_hedge(RequestId rid, PendingOp& op) {
       return o.op_id == op_id;
     });
     if (it == ops.end() || it->done || it->hedged) return;
-    // Pick the best OTHER replica under the current learned view.
+    // Pick the best OTHER replica under the current learned view. Hedging to
+    // a suspected replica only doubles the load on a host that is not
+    // answering, so pick_alternate skips suspects.
     const auto replicas = partitioner_.replicas_for(it->key, params_.replication);
-    ServerId alternate = kInvalidServer;
-    double best_est = 0;
-    for (const ServerId candidate : replicas) {
-      // Hedging to a suspected replica only doubles the load on a host that
-      // is not answering; skip it.
-      if (candidate == it->server || suspected_[candidate] != 0) continue;
-      const double est = full_estimate(0, candidate, it->demand_us);
-      if (alternate == kInvalidServer || est < best_est) {
-        alternate = candidate;
-        best_est = est;
-      }
-    }
+    const ServerId alternate = selector_->pick_alternate(
+        replicas, learned_view(), {it->demand_us, it->key, sim_.now()},
+        it->server);
     if (alternate == kInvalidServer) return;  // no distinct live replica
     it->hedged = true;
     ++ops_hedged_;
@@ -345,16 +318,8 @@ void Client::maybe_fail_over(PendingRequest& req, PendingOp& op) {
   if (params_.replication < 2 || op.sent_ctx.is_write) return;
   if (suspected_[op.server] == 0) return;
   const auto replicas = partitioner_.replicas_for(op.key, params_.replication);
-  ServerId best = kInvalidServer;
-  double best_est = 0;
-  for (const ServerId candidate : replicas) {
-    if (candidate == op.server || suspected_[candidate] != 0) continue;
-    const double est = full_estimate(0, candidate, op.demand_us);
-    if (best == kInvalidServer || est < best_est) {
-      best = candidate;
-      best_est = est;
-    }
-  }
+  const ServerId best = selector_->pick_alternate(
+      replicas, learned_view(), {op.demand_us, op.key, sim_.now()}, op.server);
   if (best == kInvalidServer) return;  // every replica suspected: keep trying
   op.server = best;
   ++ops_failed_over_;
@@ -389,14 +354,8 @@ void Client::abandon_op(RequestId rid, PendingOp& op) {
 void Client::on_response(const OpResponse& resp) {
   const SimTime now = sim_.now();
 
-  if (params_.adaptive) {
-    d_est_[resp.server] +=
-        params_.ewma_alpha * (resp.d_hat_us - d_est_[resp.server]);
-    mu_est_[resp.server] +=
-        params_.ewma_alpha * (resp.mu_hat - mu_est_[resp.server]);
-  }
-  // Any response clears the server's failure suspicion: the streak of
-  // consecutive unanswered timeouts is broken.
+  // Any response — including a duplicate — clears the server's failure
+  // suspicion: the streak of consecutive unanswered timeouts is broken.
   rto_strikes_[resp.server] = 0;
   suspected_[resp.server] = 0;
 
@@ -404,11 +363,19 @@ void Client::on_response(const OpResponse& resp) {
   if (op_it == op_to_request_.end()) {
     // With retransmission or hedging enabled, a second copy of a served op
     // yields a duplicate response; discard it. Otherwise it is a protocol
-    // bug.
+    // bug. The duplicate stays a pure liveness signal: the EWMA update below
+    // must NOT run, or each redundant answer double-applies the same
+    // piggyback and skews the learned view.
     DAS_CHECK_MSG(params_.retry_timeout_us > 0 || params_.hedge_delay_us > 0,
                   "response for unknown op");
     ++duplicate_responses_;
     return;
+  }
+  if (params_.adaptive) {
+    d_est_[resp.server] +=
+        params_.ewma_alpha * (resp.d_hat_us - d_est_[resp.server]);
+    mu_est_[resp.server] +=
+        params_.ewma_alpha * (resp.mu_hat - mu_est_[resp.server]);
   }
   const RequestId rid = op_it->second;
   op_to_request_.erase(op_it);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/flat_map.hpp"
@@ -168,6 +169,8 @@ class Client {
   double op_demand_us(KeyId key) const;
   /// Target replica for `key` per the configured selection strategy.
   ServerId pick_server(KeyId key, double demand);
+  /// Snapshot of the learned per-server state for the selector layer.
+  select::LearnedView learned_view() const;
   /// Intrinsic service-time estimate of one op (demand over learned speed).
   double service_estimate_us(ServerId server, double demand) const;
   /// Full completion estimate of one op if sent now (rtt + queueing + service).
@@ -188,6 +191,9 @@ class Client {
 
   std::vector<double> d_est_;
   std::vector<double> mu_est_;
+  /// The replica-selection strategy (src/select); shared by fresh picks,
+  /// hedges and failovers so their ranking logic cannot diverge again.
+  std::unique_ptr<select::ReplicaSelector> selector_;
   // Lookup-only tables (never iterated): FlatMap keeps them deterministic
   // across standard libraries and off the per-response allocation path.
   FlatMap<RequestId, PendingRequest> pending_;

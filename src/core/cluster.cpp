@@ -210,12 +210,18 @@ double Cluster::derived_request_rate() const {
     const double demand =
         config_.per_op_overhead_us +
         static_cast<double>(key_sizes_[key]) / config_.service_bytes_per_us;
+    // Selection-aware share model (src/select): modes that never leave the
+    // primary put a key's whole demand there; every other mode spreads it
+    // evenly across the replica set — exact for kRandom, a deliberate
+    // approximation for the view-driven modes (least-delay/tars/power-of-d),
+    // which chase the momentarily fastest replica but equalise in the
+    // homogeneous steady state this calibration assumes (see EXPERIMENTS.md,
+    // "Replica selection").
     if (replication == 1 ||
-        config_.replica_selection == ReplicaSelection::kPrimary) {
+        select::load_share_model(config_.replica_selection) ==
+            select::LoadShareModel::kAllOnPrimary) {
       share[partitioner_->server_for(key)] += generator_->rank_pmf(rank) * demand;
     } else {
-      // Random/least-delay selection spreads a key's load across its replica
-      // set (exactly for kRandom; a close approximation for kLeastDelay).
       const auto replicas = partitioner_->replicas_for(key, replication);
       const double slice = generator_->rank_pmf(rank) * demand /
                            static_cast<double>(replicas.size());

@@ -13,6 +13,7 @@
 #include "common/types.hpp"
 #include "fault/fault_plan.hpp"
 #include "sched/scheduler.hpp"
+#include "select/selector.hpp"
 #include "workload/rate_function.hpp"
 
 namespace das::core {
@@ -28,16 +29,10 @@ enum class LoadCalibration {
   kHottestServer,
 };
 
-/// How a client picks one replica to read from when replication > 1.
-enum class ReplicaSelection {
-  /// Always the primary (placement-preference order head).
-  kPrimary,
-  /// Uniformly random replica per operation.
-  kRandom,
-  /// The replica with the lowest estimated completion under the client's
-  /// learned per-server delay/speed view (C3-style replica ranking).
-  kLeastDelay,
-};
+/// How a client picks one replica to read from when replication > 1. The
+/// modes and their implementations live in src/select (the pluggable
+/// selector layer); this alias keeps the historical core-side name.
+using ReplicaSelection = select::Mode;
 
 struct ClusterConfig {
   // --- topology -----------------------------------------------------------

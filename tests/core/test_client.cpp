@@ -237,5 +237,104 @@ TEST_F(ClientFixture, DuplicateResponseThrows) {
   EXPECT_THROW(respond(sent_ops[0]), std::logic_error);
 }
 
+TEST_F(ClientFixture, DuplicateResponseNeverTouchesTheLearnedView) {
+  // Regression (PR 7): the EWMA update used to run BEFORE the duplicate
+  // check, so every hedged/retried duplicate applied the same piggyback
+  // twice and skewed the adaptive view toward whichever server answered
+  // redundantly.
+  Client::Params p;
+  p.adaptive = true;
+  p.ewma_alpha = 0.5;
+  p.retry_timeout_us = 10'000.0;  // legalises duplicates; never fires here
+  build(2, p);
+  client->start(1500.0);
+  sim.run_until(1050.0);
+  ASSERT_EQ(sent_ops.size(), 2u);
+
+  const ServerId s = sent_ops[0].server;
+  respond(sent_ops[0], /*d_hat=*/200.0, /*mu_hat=*/0.5);
+  EXPECT_DOUBLE_EQ(client->delay_estimate(s), 100.0);
+  EXPECT_DOUBLE_EQ(client->speed_estimate(s), 0.75);
+
+  // The same response delivered again (e.g. a served retransmission).
+  respond(sent_ops[0], /*d_hat=*/200.0, /*mu_hat=*/0.5);
+  EXPECT_EQ(client->duplicate_responses(), 1u);
+  EXPECT_DOUBLE_EQ(client->delay_estimate(s), 100.0);  // NOT 150
+  EXPECT_DOUBLE_EQ(client->speed_estimate(s), 0.75);   // NOT 0.625
+}
+
+TEST_F(ClientFixture, FailedOverOpNeverHedgesBackToSuspectedOrigin) {
+  // Hedge x failover: once an op's origin is suspected and the op has moved
+  // to a live replica, the (still pending) hedge must not resurrect the
+  // origin — it targets the remaining third replica.
+  Client::Params p;
+  p.replication = 3;
+  p.retry_timeout_us = 100.0;
+  p.suspicion_rto_threshold = 1;
+  p.hedge_delay_us = 150.0;
+  build(1, p);
+  client->start(1500.0);
+  // t=1000: send to the primary. t in [1080, 1120]: first RTO -> origin
+  // suspected, op fails over and is resent. t=1150: the hedge fires.
+  sim.run_until(1200.0);
+  ASSERT_EQ(sent_ops.size(), 3u);
+  const ServerId origin = sent_ops[0].server;
+  EXPECT_TRUE(client->suspects(origin));
+  EXPECT_EQ(client->ops_failed_over(), 1u);
+  EXPECT_EQ(client->ops_hedged(), 1u);
+  const ServerId failover_target = sent_ops[1].server;
+  const ServerId hedge_target = sent_ops[2].server;
+  EXPECT_NE(failover_target, origin);
+  EXPECT_NE(hedge_target, origin);
+  EXPECT_NE(hedge_target, failover_target);
+}
+
+TEST_F(ClientFixture, LateDuplicateClearsSuspicionButNotTheView) {
+  // The real-world shape of the duplicate path: an op fails over from a
+  // suspected server to a live replica, completes there, and the original
+  // server's late answer finally arrives. That answer is a liveness signal —
+  // it must rehabilitate the suspected server — but it is NOT a fresh
+  // feedback sample: the learned view stays untouched.
+  Client::Params p;
+  p.adaptive = true;
+  p.ewma_alpha = 0.5;
+  p.retry_timeout_us = 100.0;
+  p.suspicion_rto_threshold = 2;
+  p.replication = 2;
+  build(1, p);
+  client->start(1500.0);
+  sim.run_until(1400.0);  // two RTOs: original server suspected, op failed over
+  ASSERT_GE(sent_ops.size(), 1u);
+
+  const ServerId original = sent_ops.front().server;
+  ASSERT_TRUE(client->suspects(original));
+  EXPECT_GE(client->ops_failed_over(), 1u);
+  const ServerId target = sent_ops.back().server;
+  ASSERT_NE(target, original);
+
+  // The failover target answers: the op completes.
+  OpResponse resp;
+  resp.op_id = sent_ops.front().ctx.op_id;
+  resp.request_id = sent_ops.front().ctx.request_id;
+  resp.client = sent_ops.front().ctx.client;
+  resp.server = target;
+  resp.key = sent_ops.front().ctx.key;
+  resp.hit = true;
+  resp.value_size = 100;
+  resp.completed_at = sim.now();
+  client->on_response(resp);
+  EXPECT_EQ(client->requests_completed(), 1u);
+
+  // The original server's late answer to the first transmission.
+  resp.server = original;
+  resp.d_hat_us = 500.0;
+  resp.mu_hat = 0.25;
+  client->on_response(resp);
+  EXPECT_EQ(client->duplicate_responses(), 1u);
+  EXPECT_FALSE(client->suspects(original));  // liveness signal honoured
+  EXPECT_DOUBLE_EQ(client->delay_estimate(original), 0.0);  // view untouched
+  EXPECT_DOUBLE_EQ(client->speed_estimate(original), 1.0);
+}
+
 }  // namespace
 }  // namespace das::core

@@ -65,6 +65,27 @@ TEST(Hedging, DeterministicWithHedging) {
   EXPECT_EQ(a.ops_hedged, b.ops_hedged);
 }
 
+TEST(Hedging, AbandonedHedgedOpsKeepAccountingClosed) {
+  // Hedge x failover x abandon: kill BOTH replicas of a slice of the
+  // keyspace so ops there hedge (to the equally dead secondary), retry,
+  // and finally exhaust their budget and are abandoned. However an op
+  // leaves the books — answered, hedge-answered, failed over, abandoned —
+  // request conservation must hold at drain.
+  auto cfg = hedged_config(300.0);
+  cfg.ring_vnodes = 0;  // modulo: replicas of key k are {k%8, (k%8+1)%8}
+  cfg.server_speed_factors.clear();
+  cfg.retry_timeout_us = 500.0;
+  cfg.retry_max_attempts = 3;
+  cfg.suspicion_rto_threshold = 2;
+  cfg.fault_plan = fault::parse_fault_plan("crash@20ms:s0,crash@20ms:s1");
+  const ExperimentResult r = run_experiment(cfg, window());
+  EXPECT_EQ(r.requests_generated, r.requests_completed + r.requests_failed);
+  EXPECT_GT(r.ops_hedged, 0u);
+  EXPECT_GT(r.ops_abandoned, 0u);
+  EXPECT_GT(r.requests_failed, 0u);
+  EXPECT_LT(r.availability, 1.0);
+}
+
 TEST(Hedging, ComposesWithLossRecovery) {
   auto cfg = hedged_config(500.0);
   cfg.msg_loss_probability = 0.02;

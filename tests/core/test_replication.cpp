@@ -71,12 +71,16 @@ TEST_P(SelectionConservation, AllRequestsCompleteAndHit) {
 INSTANTIATE_TEST_SUITE_P(AllSelections, SelectionConservation,
                          ::testing::Values(ReplicaSelection::kPrimary,
                                            ReplicaSelection::kRandom,
-                                           ReplicaSelection::kLeastDelay),
+                                           ReplicaSelection::kLeastDelay,
+                                           ReplicaSelection::kTars,
+                                           ReplicaSelection::kPowerOfD),
                          [](const auto& param_info) {
                            switch (param_info.param) {
                              case ReplicaSelection::kPrimary: return "primary";
                              case ReplicaSelection::kRandom: return "random";
                              case ReplicaSelection::kLeastDelay: return "least_delay";
+                             case ReplicaSelection::kTars: return "tars";
+                             case ReplicaSelection::kPowerOfD: return "power_of_d";
                            }
                            return "unknown";
                          });
@@ -114,6 +118,42 @@ TEST(Replication, LeastDelayAvoidsStragglerReplicas) {
   cluster.run();
   // The slow server should have served measurably fewer ops than the mean of
   // the fast ones: clients learned to read the other replica.
+  const double slow_ops = static_cast<double>(cluster.server(0).ops_completed());
+  double fast_ops = 0;
+  for (std::size_t s = 1; s < cluster.server_count(); ++s)
+    fast_ops += static_cast<double>(cluster.server(s).ops_completed());
+  fast_ops /= static_cast<double>(cluster.server_count() - 1);
+  EXPECT_LT(slow_ops, fast_ops * 0.8);
+}
+
+TEST(Replication, TarsAvoidsStragglerReplicas) {
+  // Same straggler setup as above: tars must also learn to leave the slow
+  // replica, despite its switching being rate-bounded.
+  auto cfg = replicated_config(2, ReplicaSelection::kTars);
+  cfg.zipf_theta = 0.0;
+  cfg.policy = sched::Policy::kDas;  // adaptive view feeds selection
+  cfg.server_speed_factors.assign(cfg.num_servers, 1.0);
+  cfg.server_speed_factors[0] = 0.25;
+  Cluster cluster{cfg, window()};
+  cluster.run();
+  const double slow_ops = static_cast<double>(cluster.server(0).ops_completed());
+  double fast_ops = 0;
+  for (std::size_t s = 1; s < cluster.server_count(); ++s)
+    fast_ops += static_cast<double>(cluster.server(s).ops_completed());
+  fast_ops /= static_cast<double>(cluster.server_count() - 1);
+  EXPECT_LT(slow_ops, fast_ops * 0.8);
+}
+
+TEST(Replication, PowerOfDAvoidsStragglerReplicas) {
+  // With replication 2 the d=2 sample covers the whole replica set, so
+  // power-of-d must steer off the straggler exactly like least-delay does.
+  auto cfg = replicated_config(2, ReplicaSelection::kPowerOfD);
+  cfg.zipf_theta = 0.0;
+  cfg.policy = sched::Policy::kDas;
+  cfg.server_speed_factors.assign(cfg.num_servers, 1.0);
+  cfg.server_speed_factors[0] = 0.25;
+  Cluster cluster{cfg, window()};
+  cluster.run();
   const double slow_ops = static_cast<double>(cluster.server(0).ops_completed());
   double fast_ops = 0;
   for (std::size_t s = 1; s < cluster.server_count(); ++s)

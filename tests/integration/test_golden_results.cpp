@@ -100,6 +100,93 @@ const GoldenRow kGolden[] = {
     // clang-format on
 };
 
+// --- replica-selection dimension --------------------------------------------
+//
+// Same idea, one level up the stack: the client-side replica-selection layer
+// (src/select) must not drift either. Replication 2 under DAS (the adaptive
+// view feeds selection) pins every selection mode at the same two loads. The
+// primary/random/least-delay rows below were generated BEFORE the selector
+// refactor (PR 7) promoted the inline `Client::pick_server` switch into the
+// pluggable layer — they prove the refactor is bit-exact. The tars and
+// power-of-d rows pin the new modes from their first version.
+
+struct SelectionGoldenRow {
+  ReplicaSelection selection;
+  double load;
+  std::uint64_t requests_measured;
+  double mean_rct_us;
+  double p99_us;
+};
+
+constexpr ReplicaSelection kSelectionModes[] = {
+    ReplicaSelection::kPrimary,    ReplicaSelection::kRandom,
+    ReplicaSelection::kLeastDelay, ReplicaSelection::kTars,
+    ReplicaSelection::kPowerOfD,
+};
+
+ClusterConfig selection_golden_config(ReplicaSelection selection, double load) {
+  ClusterConfig cfg = golden_config(sched::Policy::kDas, load);
+  cfg.replication = 2;
+  cfg.replica_selection = selection;
+  return cfg;
+}
+
+const char* selection_token(ReplicaSelection selection) {
+  switch (selection) {
+    case ReplicaSelection::kPrimary: return "ReplicaSelection::kPrimary";
+    case ReplicaSelection::kRandom: return "ReplicaSelection::kRandom";
+    case ReplicaSelection::kLeastDelay: return "ReplicaSelection::kLeastDelay";
+    case ReplicaSelection::kTars: return "ReplicaSelection::kTars";
+    case ReplicaSelection::kPowerOfD: return "ReplicaSelection::kPowerOfD";
+  }
+  return "ReplicaSelection::kPrimary";
+}
+
+// Pinned by the pre-refactor inline pick_server (see above).
+const SelectionGoldenRow kSelectionGolden[] = {
+    // clang-format off
+    {ReplicaSelection::kPrimary, 0.50, 238u, 100.2852144744184, 468.82096919418495},
+    {ReplicaSelection::kPrimary, 0.80, 409u, 163.36876977997159, 1136.6043007220296},
+    {ReplicaSelection::kRandom, 0.50, 304u, 110.09686772357466, 450.52773647699598},
+    {ReplicaSelection::kRandom, 0.80, 512u, 156.60461695419744, 712.04055040433855},
+    {ReplicaSelection::kLeastDelay, 0.50, 308u, 128.04665772156497, 544.28659086092296},
+    {ReplicaSelection::kLeastDelay, 0.80, 504u, 168.51746036498113, 851.70550695269287},
+    {ReplicaSelection::kTars, 0.50, 308u, 140.72191534556796, 684.25697341329601},
+    {ReplicaSelection::kTars, 0.80, 504u, 177.07133119319812, 950.2208747876565},
+    {ReplicaSelection::kPowerOfD, 0.50, 279u, 120.5384824696981, 549.72945676953248},
+    {ReplicaSelection::kPowerOfD, 0.80, 467u, 168.45944438727741, 860.22256202222036},
+    // clang-format on
+};
+
+TEST(GoldenResults, PinnedSelectionGridIsBitExact) {
+  if (std::getenv("DAS_REGEN_GOLDEN") != nullptr) {
+    for (const ReplicaSelection selection : kSelectionModes) {
+      for (const double load : {0.5, 0.8}) {
+        const ExperimentResult r = run_experiment(
+            selection_golden_config(selection, load), golden_window());
+        std::printf("    {%s, %.2f, %lluu, %.17g, %.17g},\n",
+                    selection_token(selection), load,
+                    static_cast<unsigned long long>(r.requests_measured),
+                    r.rct.mean, r.rct.p99);
+      }
+    }
+    GTEST_SKIP() << "DAS_REGEN_GOLDEN set: printed fresh rows, skipped the "
+                    "comparison";
+  }
+  ASSERT_EQ(std::size(kSelectionGolden), std::size(kSelectionModes) * 2)
+      << "selection golden table incomplete — regenerate with "
+         "DAS_REGEN_GOLDEN=1";
+  for (const SelectionGoldenRow& row : kSelectionGolden) {
+    SCOPED_TRACE(std::string(selection_token(row.selection)) +
+                 " @ load=" + std::to_string(row.load));
+    const ExperimentResult r = run_experiment(
+        selection_golden_config(row.selection, row.load), golden_window());
+    EXPECT_EQ(r.requests_measured, row.requests_measured);
+    EXPECT_EQ(r.rct.mean, row.mean_rct_us);
+    EXPECT_EQ(r.rct.p99, row.p99_us);
+  }
+}
+
 TEST(GoldenResults, PinnedGridIsBitExact) {
   if (std::getenv("DAS_REGEN_GOLDEN") != nullptr) {
     for (const GoldenCase& c : kGrid) {

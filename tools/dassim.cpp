@@ -27,6 +27,7 @@
 #include "core/perf.hpp"
 #include "core/sweep.hpp"
 #include "fault/fault_plan.hpp"
+#include "select/selector.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/tracer.hpp"
 #include "workload/spec.hpp"
@@ -56,13 +57,44 @@ int run_sweep(const core::ClusterConfig& base, const core::RunWindow& window,
   const std::size_t jobs = jobs_flag <= 0 ? core::SweepRunner::default_jobs()
                                           : static_cast<std::size_t>(jobs_flag);
 
+  // Optional third grid dimension: replica-selection modes. Empty keeps the
+  // single mode of --selection and the historical "load=X" point labels.
+  std::vector<core::ReplicaSelection> selections;
+  const std::string selections_spec = flags.get_string("sweep-selections");
+  {
+    std::istringstream is{selections_spec};
+    std::string token;
+    while (std::getline(is, token, ',')) {
+      core::ReplicaSelection mode = core::ReplicaSelection::kPrimary;
+      if (!select::mode_from_string(token, mode)) {
+        std::cerr << "unknown --sweep-selections mode: " << token << "\n";
+        return 2;
+      }
+      selections.push_back(mode);
+    }
+  }
+  const auto point_label = [&](double load,
+                               core::ReplicaSelection sel) -> std::string {
+    std::string point = "load=" + Table::fmt(load, 2);
+    if (!selections.empty())
+      point += std::string(" sel=") + select::to_string(sel);
+    return point;
+  };
+  const std::vector<core::ReplicaSelection> grid_selections =
+      selections.empty()
+          ? std::vector<core::ReplicaSelection>{base.replica_selection}
+          : selections;
+
   core::SweepRunner runner;
   for (const double load : loads) {
-    core::ClusterConfig cfg = base;
-    cfg.target_load = load;
-    const std::string point = "load=" + Table::fmt(load, 2);
-    for (const sched::Policy policy : policies)
-      runner.add(experiment, point, policy, cfg, window);
+    for (const core::ReplicaSelection sel : grid_selections) {
+      core::ClusterConfig cfg = base;
+      cfg.target_load = load;
+      cfg.replica_selection = sel;
+      const std::string point = point_label(load, sel);
+      for (const sched::Policy policy : policies)
+        runner.add(experiment, point, policy, cfg, window);
+    }
   }
 
   // Wall-clock sweep timing for the operator's progress line only.
@@ -103,16 +135,18 @@ int run_sweep(const core::ClusterConfig& base, const core::RunWindow& window,
     if (gains) headers.push_back("last vs fcfs");
     Table table{headers};
     for (const double load : loads) {
-      const std::string point = "load=" + Table::fmt(load, 2);
-      std::vector<std::string> cells{point};
-      for (const sched::Policy p : policies)
-        cells.push_back(Table::fmt(find_mean(point, p), 1));
-      if (gains) {
-        const double fcfs = find_mean(point, sched::Policy::kFcfs);
-        const double last = find_mean(point, policies.back());
-        cells.push_back(fcfs > 0 ? Table::fmt_percent(1.0 - last / fcfs) : "-");
+      for (const core::ReplicaSelection sel : grid_selections) {
+        const std::string point = point_label(load, sel);
+        std::vector<std::string> cells{point};
+        for (const sched::Policy p : policies)
+          cells.push_back(Table::fmt(find_mean(point, p), 1));
+        if (gains) {
+          const double fcfs = find_mean(point, sched::Policy::kFcfs);
+          const double last = find_mean(point, policies.back());
+          cells.push_back(fcfs > 0 ? Table::fmt_percent(1.0 - last / fcfs) : "-");
+        }
+        table.add_row(std::move(cells));
       }
-      table.add_row(std::move(cells));
     }
     std::cout << "== " << experiment << " — mean RCT (us) ==\n";
     table.print(std::cout);
@@ -153,7 +187,10 @@ int main(int argc, char** argv) {
   flags.define("net-latency-us", "5", "one-way network latency (us)");
   flags.define("replication", "1", "copies per key");
   flags.define("selection", "primary",
-               "replica selection: primary | random | least-delay");
+               "replica selection: primary | random | least-delay | tars | "
+               "power-of-d");
+  flags.define("replica-selection", "",
+               "alias of --selection (takes precedence when set)");
   flags.define("stragglers", "0", "fraction of servers at reduced speed");
   flags.define("straggler-speed", "0.5", "speed factor of straggler servers");
   flags.define("ring-vnodes", "0", "consistent-hash vnodes (0 = modulo)");
@@ -197,6 +234,10 @@ int main(int argc, char** argv) {
                "bit-identical to --jobs=1");
   flags.define("sweep-loads", "0.3,0.5,0.6,0.7,0.8,0.9",
                "comma-separated target loads of the sweep grid (the E1 grid)");
+  flags.define("sweep-selections", "",
+               "comma-separated replica-selection modes added as a third "
+               "sweep dimension (empty = just --selection); needs "
+               "--replication >= 2");
   flags.define("experiment", "e1_load_mean", "sweep experiment label");
   flags.define("json", "",
                "write sweep results as BENCH-schema JSON to this path");
@@ -273,14 +314,10 @@ int main(int argc, char** argv) {
   cfg.service_bytes_per_us = flags.get_double("bytes-per-us");
   cfg.net_latency_us = flags.get_double("net-latency-us");
   cfg.replication = static_cast<std::size_t>(flags.get_int("replication"));
-  const std::string selection = flags.get_string("selection");
-  if (selection == "primary") {
-    cfg.replica_selection = core::ReplicaSelection::kPrimary;
-  } else if (selection == "random") {
-    cfg.replica_selection = core::ReplicaSelection::kRandom;
-  } else if (selection == "least-delay") {
-    cfg.replica_selection = core::ReplicaSelection::kLeastDelay;
-  } else {
+  std::string selection = flags.get_string("selection");
+  if (!flags.get_string("replica-selection").empty())
+    selection = flags.get_string("replica-selection");
+  if (!select::mode_from_string(selection, cfg.replica_selection)) {
     std::cerr << "unknown --selection: " << selection << "\n";
     return 2;
   }
