@@ -1,0 +1,63 @@
+// E20 (extension) — Storage-aware service times: scheduling × the LSM store
+// model. The tentpole question: when service capacity dips under background
+// compaction and writes stall behind compaction debt, do the feedback-driven
+// policies (REIN-SBF, DAS) still beat FCFS — and by how much more than the
+// synthetic model suggests? Three arms per load:
+//
+//   store=synthetic   the paper's flat service model (baseline);
+//   store=lsm         full interference: compaction capacity dips + stalls;
+//   store=lsm-quiet   the control — the same LSM cost structure (memtable
+//                     hits, level walks) with interference disabled, so the
+//                     lsm-vs-quiet delta isolates compaction/stall pain.
+//
+// A 30% write fraction feeds the memtables; the memtable/stall knobs are
+// scaled down from production defaults so several compaction cycles fit in
+// the 200ms window. Expectation: mu_hat absorbs the dips, so DAS sheds load
+// off compacting servers while FCFS queues behind them — the DAS-vs-FCFS
+// gain should widen in the lsm arm and revert toward baseline in lsm-quiet.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.replication = 2;
+  cfg.replica_selection = das::core::ReplicaSelection::kLeastDelay;
+  cfg.load_calibration = das::core::LoadCalibration::kAverageCapacity;
+  cfg.write_fraction = 0.3;
+  // Simulation-scale LSM: ~tens of flushes and several compaction windows
+  // per server inside the measurement window.
+  cfg.lsm.memtable_bytes = 16.0 * 1024.0;
+  cfg.lsm.compaction_bytes_per_us = 4.0;
+  cfg.lsm.stall_debt_bytes = 64.0 * 1024.0;
+  const auto window = dasbench::eval_window();
+  const std::vector<das::sched::Policy> policies = {
+      das::sched::Policy::kFcfs, das::sched::Policy::kReinSbf,
+      das::sched::Policy::kDas};
+
+  struct Arm {
+    const char* label;
+    das::core::StoreModel model;
+    bool interference;
+  };
+  const Arm arms[] = {
+      {"synthetic", das::core::StoreModel::kSynthetic, true},
+      {"lsm", das::core::StoreModel::kLsm, true},
+      {"lsm-quiet", das::core::StoreModel::kLsm, false},
+  };
+
+  for (const double load : {0.5, 0.8}) {
+    cfg.target_load = load;
+    for (const Arm& arm : arms) {
+      cfg.store_model = arm.model;
+      cfg.lsm.interference = arm.interference;
+      dasbench::register_point(
+          "E20_storage",
+          std::string("store=") + arm.label +
+              "/load=" + (load == 0.5 ? "0.5" : "0.8"),
+          cfg, window, policies);
+    }
+  }
+  return dasbench::bench_main(argc, argv, "E20_storage",
+                              {{"Mean RCT by store model", "mean"},
+                               {"p99 RCT by store model", "p99"},
+                               {"Max server utilisation", "max_util"}});
+}

@@ -218,6 +218,29 @@ class BimodalInt final : public IntDistribution {
   double p_;
 };
 
+/// Real-valued two-point mixture; the canonical "mostly small values, rare
+/// large ones" shape for KV value sizes (drives size-dependent store costs).
+class BimodalReal final : public RealDistribution {
+ public:
+  BimodalReal(double small, double large, double p_large)
+      : small_(small), large_(large), p_(p_large) {
+    DAS_CHECK(small > 0);
+    DAS_CHECK(large >= small);
+    DAS_CHECK(p_large >= 0 && p_large <= 1);
+  }
+  double sample(Rng& rng) const override { return rng.chance(p_) ? large_ : small_; }
+  double mean() const override { return p_ * large_ + (1 - p_) * small_; }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "bimodal_real(" << small_ << "/" << large_ << ", p_large=" << p_ << ")";
+    return os.str();
+  }
+
+ private:
+  double small_, large_;
+  double p_;
+};
+
 class DiscreteInt final : public IntDistribution {
  public:
   DiscreteInt(std::vector<std::uint32_t> values, std::vector<double> weights)
@@ -269,6 +292,9 @@ RealDistPtr make_lognormal_mean(double mean, double sigma) {
 RealDistPtr make_generalized_pareto(double location, double scale, double shape,
                                     double cap) {
   return std::make_shared<GeneralizedParetoDist>(location, scale, shape, cap);
+}
+RealDistPtr make_bimodal_real(double small, double large, double p_large) {
+  return std::make_shared<BimodalReal>(small, large, p_large);
 }
 
 IntDistPtr make_fixed_int(std::uint32_t k) { return std::make_shared<FixedInt>(k); }

@@ -44,6 +44,9 @@ RealDistPtr make_lognormal_mean(double mean, double sigma);
 /// sizes. mean() is computed for the truncated law.
 RealDistPtr make_generalized_pareto(double location, double scale, double shape,
                                     double cap);
+/// Real two-point mixture: `small` w.p. (1-p_large), else `large`. The value
+/// sizes of a "mostly small, occasionally huge" KV workload.
+RealDistPtr make_bimodal_real(double small, double large, double p_large);
 
 /// Integer-valued family (multiget fan-out, replica counts, ...).
 class IntDistribution {

@@ -59,7 +59,9 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
     return 0.0;
   };
 
-  os << "{\n  \"schema_version\": 3,\n  \"experiment\": ";
+  // v4: added the always-present "storage" block (store-model counters;
+  // all-zero under the synthetic model).
+  os << "{\n  \"schema_version\": 4,\n  \"experiment\": ";
   json_string(os, experiment);
   os << ",\n  \"points\": [";
   bool first = true;
@@ -116,6 +118,17 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
     os << ",\n        \"server_recoveries\": " << r.server_recoveries;
     os << ",\n        \"messages_dropped_partition\": "
        << r.net_messages_dropped_partition;
+    os << "\n      }";
+    os << ",\n      \"storage\": {\n        \"flushes\": " << r.store_flushes;
+    os << ",\n        \"compactions\": " << r.store_compactions;
+    os << ",\n        \"write_stalls\": " << r.store_write_stalls;
+    os << ",\n        \"stalled_write_ops\": " << r.store_stalled_write_ops;
+    os << ",\n        \"memtable_hits\": " << r.store_memtable_hits;
+    os << ",\n        \"level_reads\": " << r.store_level_reads;
+    os << ",\n        \"compaction_busy_us\": ";
+    json_double(os, r.store_compaction_busy_us);
+    os << ",\n        \"write_stall_us\": ";
+    json_double(os, r.store_write_stall_us);
     os << "\n      }";
     const double fcfs = fcfs_mean(row.point);
     os << ",\n      \"gain_vs_fcfs_pct\": ";

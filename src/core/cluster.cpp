@@ -87,12 +87,24 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
     params.speed_alpha = config_.server_speed_alpha;
     params.preemptive = config_.preemptive_service;
     params.log_structured_storage = config_.log_structured_storage;
+    if (config_.store_model == StoreModel::kLsm) {
+      store::LsmOptions lsm_opt = config_.lsm;
+      // Costs are expressed in the same currency as the synthetic demand
+      // model: mirror the service-model anchors from the config.
+      lsm_opt.per_op_overhead_us = config_.per_op_overhead_us;
+      lsm_opt.service_bytes_per_us = config_.service_bytes_per_us;
+      // Forked only in LSM mode so the synthetic fork sequence — and with it
+      // every golden result — is untouched (Rng::fork consumes parent state).
+      params.service_model = std::make_unique<store::LsmModel>(
+          lsm_opt, master.fork(0x15A0D0 + s).next_u64());
+    }
 
     sched::SchedulerConfig sched_cfg = config_.sched_config;
     sched_cfg.seed = master.fork(0x5EED + s).next_u64();
     auto scheduler = sched::make_scheduler(config_.policy, sched_cfg);
 
-    auto server = std::make_unique<Server>(sim_, params, std::move(scheduler), metrics_);
+    auto server = std::make_unique<Server>(sim_, std::move(params),
+                                           std::move(scheduler), metrics_);
     server->set_utilization_window(window_.warmup_us, window_.horizon());
     if (tracer_ != nullptr) server->set_tracer(tracer_);
     servers_.push_back(std::move(server));
@@ -321,6 +333,9 @@ ExperimentResult Cluster::run() {
   }
   for (auto& client : clients_) client->start(window_.horizon());
   sim_.run();
+  // Close the store models' open compaction/stall windows so busy-time
+  // accounting covers the whole run (no-op in synthetic mode).
+  for (auto& server : servers_) server->finalize_store();
   const auto wall_end = std::chrono::steady_clock::now();  // NOLINT(das-no-wallclock)
 
   ExperimentResult result;
@@ -362,6 +377,17 @@ ExperimentResult Cluster::run() {
     result.ops_resumed += counters.ops_resumed;
     result.ops_aged += counters.ops_aged;
     result.reranks_applied += counters.reranks_applied;
+    if (const store::ServiceTimeProvider* model = server->service_model()) {
+      const store::StoreModelStats st = model->stats();
+      result.store_flushes += st.flushes;
+      result.store_compactions += st.compactions;
+      result.store_write_stalls += st.write_stalls;
+      result.store_stalled_write_ops += st.stalled_write_ops;
+      result.store_memtable_hits += st.memtable_hits;
+      result.store_level_reads += st.level_reads;
+      result.store_compaction_busy_us += st.compaction_busy_us;
+      result.store_write_stall_us += st.write_stall_us;
+    }
   }
   result.breakdown = breakdown_.summary();
   if (config_.msg_loss_probability == 0 && config_.retry_timeout_us == 0 &&

@@ -7,6 +7,26 @@
 
 namespace das::core {
 
+const char* to_string(StoreModel model) {
+  switch (model) {
+    case StoreModel::kSynthetic: return "synthetic";
+    case StoreModel::kLsm: return "lsm";
+  }
+  return "synthetic";
+}
+
+bool store_model_from_string(std::string_view token, StoreModel& out) {
+  if (token == "synthetic") {
+    out = StoreModel::kSynthetic;
+    return true;
+  }
+  if (token == "lsm") {
+    out = StoreModel::kLsm;
+    return true;
+  }
+  return false;
+}
+
 void ClusterConfig::validate() const {
   const auto reject = [](const std::string& what) {
     throw std::invalid_argument("ClusterConfig: " + what);
@@ -52,6 +72,10 @@ void ClusterConfig::validate() const {
   if (!fault_plan.empty()) {
     fault_plan.validate(static_cast<std::uint32_t>(num_servers),
                         static_cast<std::uint32_t>(num_clients));
+  }
+  if (store_model == StoreModel::kLsm) {
+    // Re-thrown with the LsmOptions field name in the message.
+    lsm.validate();
   }
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/distributions.hpp"
@@ -14,9 +15,26 @@
 #include "fault/fault_plan.hpp"
 #include "sched/scheduler.hpp"
 #include "select/selector.hpp"
+#include "store/lsm_model.hpp"
 #include "workload/rate_function.hpp"
 
 namespace das::core {
+
+/// What prices an operation's service time on each server.
+enum class StoreModel {
+  /// Client-tagged demand (overhead + bytes/rate) at full capacity. The
+  /// historical model; bit-identical to builds that predate src/store's
+  /// service-time providers.
+  kSynthetic,
+  /// Per-server LSM engine: memtable-hit vs level-walk reads, flush-driven
+  /// compaction windows denting capacity, write stalls under compaction
+  /// debt. See store::LsmModel.
+  kLsm,
+};
+
+/// Stable lower-snake token, e.g. "synthetic", "lsm".
+const char* to_string(StoreModel model);
+bool store_model_from_string(std::string_view token, StoreModel& out);
 
 /// How `target_load` is interpreted when deriving the arrival rate.
 enum class LoadCalibration {
@@ -82,6 +100,13 @@ struct ClusterConfig {
   /// Optional per-server time-varying speed multiplier profiles (empty =
   /// constant 1.0; single entry = shared by all servers).
   std::vector<workload::RatePtr> speed_profiles;
+  /// Service-time pricing: synthetic demand tags (default) or the per-server
+  /// LSM model. Schedulers never see the store — only mu_hat/backlog.
+  StoreModel store_model = StoreModel::kSynthetic;
+  /// LSM knobs (used only when store_model == kLsm). The service-model
+  /// anchors (per_op_overhead_us, service_bytes_per_us) are mirrored from
+  /// this config by the Cluster, so leave those two at their defaults here.
+  store::LsmOptions lsm;
 
   // --- scheduling ---------------------------------------------------------
   sched::Policy policy = sched::Policy::kFcfs;

@@ -112,6 +112,16 @@ struct ExperimentResult {
   std::uint64_t ops_resumed = 0;
   std::uint64_t ops_aged = 0;
   std::uint64_t reranks_applied = 0;
+  /// Store-model counters summed over servers (store::StoreModelStats);
+  /// all zero in synthetic mode.
+  std::uint64_t store_flushes = 0;
+  std::uint64_t store_compactions = 0;
+  std::uint64_t store_write_stalls = 0;
+  std::uint64_t store_stalled_write_ops = 0;
+  std::uint64_t store_memtable_hits = 0;
+  std::uint64_t store_level_reads = 0;
+  double store_compaction_busy_us = 0;
+  double store_write_stall_us = 0;
   /// Per-request RCT decomposition aggregated over the measurement window
   /// (always collected; pure arithmetic on existing timestamps).
   trace::BreakdownSummary breakdown;

@@ -6,12 +6,36 @@
 
 namespace das::core {
 
+namespace {
+
+// The trace layer mirrors store::StoreTransitionKind so it never depends on
+// the store library; this switch is the one mapping point.
+trace::StoreTraceKind to_trace(store::StoreTransitionKind kind) {
+  switch (kind) {
+    case store::StoreTransitionKind::kCompactionStart:
+      return trace::StoreTraceKind::kCompactionStart;
+    case store::StoreTransitionKind::kCompactionEnd:
+      return trace::StoreTraceKind::kCompactionEnd;
+    case store::StoreTransitionKind::kWriteStallStart:
+      return trace::StoreTraceKind::kWriteStallStart;
+    case store::StoreTransitionKind::kWriteStallEnd:
+      return trace::StoreTraceKind::kWriteStallEnd;
+    case store::StoreTransitionKind::kFlush:
+      return trace::StoreTraceKind::kFlush;
+  }
+  DAS_CHECK_MSG(false, "unknown store transition kind");
+  return trace::StoreTraceKind::kFlush;
+}
+
+}  // namespace
+
 Server::Server(sim::Simulator& sim, Params params, sched::SchedulerPtr scheduler,
                Metrics& metrics)
     : sim_(sim),
       params_(std::move(params)),
       scheduler_(std::move(scheduler)),
       metrics_(metrics) {
+  service_model_ = std::move(params_.service_model);
   if (params_.log_structured_storage) {
     storage_ = std::make_unique<store::LogStructuredEngine>();
   } else {
@@ -39,14 +63,61 @@ void Server::set_utilization_window(SimTime begin, SimTime end) {
   window_end_ = end;
 }
 
-double Server::current_speed(SimTime now) const {
+double Server::effective_speed(SimTime now) {
   const double profile =
       params_.speed_profile ? params_.speed_profile->value_at(now) : 1.0;
   DAS_CHECK_MSG(profile > 0, "speed profile must stay positive");
-  const double base = params_.speed_factor * profile;
-  // Branch instead of an unconditional multiply: fault-free runs must stay
-  // bit-identical to builds that predate the fault layer.
-  return fault_slowdown_ == 1.0 ? base : base * fault_slowdown_;
+  storage_factor_ =
+      service_model_ != nullptr ? service_model_->capacity_factor(now) : 1.0;
+  DAS_CHECK_MSG(storage_factor_ > 0 && storage_factor_ <= 1.0,
+                "storage capacity factor outside (0, 1]");
+  // The single composition path for every capacity modifier: static factor ×
+  // time-varying profile × fault slowdown × storage dip. Multiplying by an
+  // exact 1.0 is bit-exact in IEEE-754, so fault-free synthetic runs stay
+  // bit-identical to builds that predate the fault and storage layers.
+  const double speed =
+      params_.speed_factor * profile * fault_slowdown_ * storage_factor_;
+  DAS_CHECK_MSG(speed > 0, "effective speed must stay positive");
+  return speed;
+}
+
+double Server::remaining_demand(double remaining_base_us) const {
+  // Synthetic mode prices ops at their client-tagged demand, so base cost
+  // and demand coincide and the unserved base IS the remaining demand (the
+  // exact legacy arithmetic). Under a store model the scheduler still thinks
+  // in demand currency: scale the tag by the unserved base-cost fraction.
+  if (service_model_ == nullptr) return remaining_base_us;
+  return current_op_.demand_us * (remaining_base_us / current_base_cost_us_);
+}
+
+store::OpCostQuery Server::cost_query(const sched::OpContext& op) const {
+  store::OpCostQuery q;
+  q.key = op.key;
+  q.is_write = op.is_write;
+  q.nominal_demand_us = op.demand_us;
+  if (op.is_write) {
+    q.size_bytes = op.write_size;
+  } else {
+    const store::ValueRecord* rec = storage_->peek(op.key);
+    q.size_bytes = rec != nullptr ? rec->size : 0;
+  }
+  return q;
+}
+
+void Server::emit_store_transitions() {
+  if (tracer_ == nullptr) return;
+  store_transitions_.clear();
+  service_model_->drain_transitions(store_transitions_);
+  for (const store::StoreTransition& tr : store_transitions_) {
+    tracer_->store_transition(tr.at, to_trace(tr.kind), params_.id,
+                              tr.debt_bytes);
+  }
+}
+
+void Server::finalize_store() {
+  if (service_model_ == nullptr) return;
+  service_model_->finalize(sim_.now());
+  emit_store_transitions();
 }
 
 double Server::d_hat_us() const {
@@ -60,12 +131,19 @@ void Server::check_invariants() const {
             "dropped");
   DAS_AUDIT(mu_hat_ > 0, "nonpositive speed estimate");
   DAS_AUDIT(fault_slowdown_ > 0, "nonpositive fault slowdown");
+  // effective_speed() factor bounds: each factor in range, product positive.
+  DAS_AUDIT(storage_factor_ > 0 && storage_factor_ <= 1.0,
+            "storage capacity factor outside (0, 1]");
+  DAS_AUDIT(params_.speed_factor * fault_slowdown_ * storage_factor_ > 0,
+            "effective-speed factor product must stay positive");
+  if (service_model_ != nullptr) service_model_->check_invariants();
   if (state_ == State::kCrashed) {
     DAS_AUDIT(!busy_, "crashed server still in service");
     DAS_AUDIT(scheduler_->empty(), "crashed server with queued work");
   }
   if (busy_) {
     DAS_AUDIT(current_op_.demand_us >= 0, "negative remaining service demand");
+    DAS_AUDIT(current_base_cost_us_ >= 0, "negative base service cost");
     DAS_AUDIT(completion_event_.valid(), "busy server without a completion event");
     DAS_AUDIT(current_speed_ > 0, "busy server with nonpositive service speed");
   } else {
@@ -92,15 +170,22 @@ void Server::receive_op(const sched::OpContext& op) {
                               mu_hat_,
                               scheduler_->size() - scheduler_->deferred_size(),
                               scheduler_->deferred_size());
+      if (service_model_ != nullptr) {
+        const store::StoreGauges g = service_model_->gauges();
+        tracer_->store_counter_sample(now, params_.id, g.memtable_fill_bytes,
+                                      g.compaction_debt_bytes, g.l0_runs);
+      }
     }
   }
   if (busy_ && params_.preemptive) {
     // Snapshot the in-service op's remaining demand and ask the policy.
+    // Progress is measured in base-cost units (identical to demand units in
+    // synthetic mode).
     const double consumed = (now - current_started_) * current_speed_;
-    const double remaining = current_op_.demand_us - consumed;
-    if (remaining > 1e-9) {
+    const double remaining_base = current_base_cost_us_ - consumed;
+    if (remaining_base > 1e-9) {
       sched::OpContext snapshot = current_op_;
-      snapshot.demand_us = remaining;
+      snapshot.demand_us = remaining_demand(remaining_base);
       if (scheduler_->preempts(op, snapshot)) preempt_current();
     }
   }
@@ -115,7 +200,8 @@ void Server::preempt_current() {
   completion_event_ = sim::EventHandle{};
   note_busy_interval(current_started_, now);
   const double consumed = (now - current_started_) * current_speed_;
-  current_op_.demand_us = std::max(current_op_.demand_us - consumed, 0.0);
+  const double remaining_base = current_base_cost_us_ - consumed;
+  current_op_.demand_us = std::max(remaining_demand(remaining_base), 0.0);
   busy_ = false;
   ++preemptions_;
   if (tracer_ != nullptr) {
@@ -155,6 +241,11 @@ void Server::crash() {
   }
   ops_dropped_ += scheduler_->drain(now).size();
   DAS_CHECK_MSG(scheduler_->empty(), "crash left the scheduler non-empty");
+  if (service_model_ != nullptr) {
+    // The memtable dies with the process; background compaction is cut off.
+    service_model_->on_crash(now);
+    emit_store_transitions();
+  }
   state_ = State::kCrashed;
   ++crashes_;
 }
@@ -182,15 +273,23 @@ void Server::maybe_start() {
   current_op_ = scheduler_->dequeue(now);
   current_started_ = now;
   busy_ = true;
+  // Base cost: the store model's price when one is attached (size-dependent
+  // read path, write-stall amplification), the client-tagged demand
+  // otherwise. Priced once at dispatch.
+  current_base_cost_us_ =
+      service_model_ != nullptr
+          ? service_model_->base_cost_us(cost_query(current_op_), now)
+          : current_op_.demand_us;
+  if (service_model_ != nullptr) emit_store_transitions();
   // The speed is sampled at dispatch; dwell times of the fluctuation
   // processes are orders of magnitude longer than one service, so freezing
   // the rate for the op's duration is a faithful approximation.
-  current_speed_ = current_speed(now);
+  current_speed_ = effective_speed(now);
   if (tracer_ != nullptr) {
     tracer_->service_start(now, current_op_.op_id, current_op_.request_id,
-                           params_.id, current_op_.demand_us);
+                           params_.id, current_base_cost_us_);
   }
-  const double service = current_op_.demand_us / current_speed_;
+  const double service = current_base_cost_us_ / current_speed_;
   completion_event_ = sim_.schedule_after(service, [this] { complete_current(); });
 }
 
@@ -213,6 +312,12 @@ void Server::complete_current() {
     record = *storage_->peek(current_op_.key);
   } else {
     record = storage_->get(current_op_.key, now);
+  }
+  if (service_model_ != nullptr) {
+    // A completed write lands in the model's memtable and may trigger a
+    // flush / compaction / stall transition.
+    service_model_->on_op_complete(cost_query(current_op_), now);
+    emit_store_transitions();
   }
   ++ops_completed_;
   if (state_ == State::kRecovering && --recovery_ops_left_ == 0)

@@ -11,6 +11,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "store/log_engine.hpp"
+#include "store/lsm_model.hpp"
 #include "store/storage_engine.hpp"
 #include "trace/rct_breakdown.hpp"
 #include "trace/tracer.hpp"
@@ -61,6 +62,10 @@ class Server : public Auditable {
     bool preemptive = false;
     /// Storage backend: hash-table engine (default) or log-structured.
     bool log_structured_storage = false;
+    /// Storage-aware service-time model. nullptr = synthetic mode: every op
+    /// costs its client-tagged demand and storage never dents capacity.
+    /// Owning a provider makes Params move-only.
+    store::ServiceTimeProviderPtr service_model;
   };
 
   Server(sim::Simulator& sim, Params params, sched::SchedulerPtr scheduler,
@@ -106,12 +111,23 @@ class Server : public Auditable {
 
   const sched::Scheduler& scheduler() const { return *scheduler_; }
   const store::KvStore& storage() const { return *storage_; }
+  /// The storage service-time model, or nullptr in synthetic mode.
+  const store::ServiceTimeProvider* service_model() const {
+    return service_model_.get();
+  }
+  /// Closes the model's open compaction/stall windows in its stats at end of
+  /// run (no-op in synthetic mode). Idempotent.
+  void finalize_store();
 
   /// Attaches a lifecycle tracer (nullptr detaches); forwarded to the
   /// scheduler. Purely observational — never changes scheduling decisions.
   void set_tracer(trace::Tracer* tracer) {
     tracer_ = tracer;
     scheduler_->set_tracer(tracer, params_.id);
+    // Transition recording costs nothing when no tracer is attached.
+    if (service_model_ != nullptr) {
+      service_model_->set_record_transitions(tracer != nullptr);
+    }
   }
 
   /// Busy-time accounting clipped to [begin, end) for utilisation metrics.
@@ -132,7 +148,21 @@ class Server : public Auditable {
   void check_invariants() const override;
 
  private:
-  double current_speed(SimTime now) const;
+  /// THE one effective-speed composition path: static factor × speed profile
+  /// × fault slowdown × storage capacity factor, every factor checked
+  /// positive. Non-const because sampling the storage factor advances the
+  /// store model's lazy clock.
+  double effective_speed(SimTime now);
+  /// Builds the store-model cost query for `op`; a read's size comes from
+  /// the server's own storage engine, not the client's estimate.
+  store::OpCostQuery cost_query(const sched::OpContext& op) const;
+  /// Remaining scheduler-visible demand of the in-service op given its
+  /// unserved base cost. Preserves the exact legacy subtraction in synthetic
+  /// mode; scales the demand tag proportionally under a store model.
+  double remaining_demand(double remaining_base_us) const;
+  /// Forwards store-model transitions (compaction/stall spans, flushes) to
+  /// the tracer. No-op when untraced.
+  void emit_store_transitions();
   void maybe_start();
   void complete_current();
   /// Requeues the in-service op with its remaining demand.
@@ -144,13 +174,23 @@ class Server : public Auditable {
   sched::SchedulerPtr scheduler_;
   Metrics& metrics_;
   std::unique_ptr<store::KvStore> storage_;
+  /// Moved out of Params at construction; nullptr in synthetic mode.
+  store::ServiceTimeProviderPtr service_model_;
   std::function<void(const OpResponse&)> respond_;
   trace::Tracer* tracer_ = nullptr;
+  /// Scratch buffer for draining store-model transitions while traced.
+  std::vector<store::StoreTransition> store_transitions_;
 
   bool busy_ = false;
   sched::OpContext current_op_{};
   SimTime current_started_ = 0;
   double current_speed_ = 1.0;
+  /// Base cost (µs at nominal speed) of the in-service op: the store model's
+  /// price when one is attached, the client-tagged demand otherwise.
+  double current_base_cost_us_ = 0;
+  /// Storage capacity factor sampled by the last effective_speed() call;
+  /// kept for const invariant auditing. Exactly 1.0 in synthetic mode.
+  double storage_factor_ = 1.0;
   sim::EventHandle completion_event_;
   double mu_hat_ = 1.0;
   State state_ = State::kUp;

@@ -13,6 +13,7 @@ const char* to_string(Mode mode) {
     case Mode::kLeastDelay: return "least-delay";
     case Mode::kTars: return "tars";
     case Mode::kPowerOfD: return "power-of-d";
+    case Mode::kC3: return "c3";
   }
   return "primary";
 }
@@ -30,7 +31,7 @@ bool mode_from_string(std::string_view token, Mode& out) {
 const std::vector<Mode>& all_modes() {
   static const std::vector<Mode> kModes = {
       Mode::kPrimary, Mode::kRandom, Mode::kLeastDelay, Mode::kTars,
-      Mode::kPowerOfD,
+      Mode::kPowerOfD, Mode::kC3,
   };
   return kModes;
 }
@@ -175,6 +176,46 @@ ServerId PowerOfDSelector::pick(const std::vector<ServerId>& replicas,
   return best;
 }
 
+namespace {
+
+/// C3 score of one replica: rtt + service × (1 + q̂³) with q̂ the learned
+/// queueing delay in units of this op's service time. With a cold view
+/// (d̂ = 0) the score degenerates to rtt + service, exactly like least-delay.
+double c3_score(const LearnedView& view, ServerId s, double demand) {
+  const double d = view.adaptive ? (*view.d_est)[s] : 0.0;
+  const double mu = view.adaptive ? (*view.mu_est)[s] : 1.0;
+  const double service = demand / mu;
+  const double q_hat = service > 0 ? d / service : 0.0;
+  return view.est_rtt_us + service * (1.0 + q_hat * q_hat * q_hat);
+}
+
+ServerId c3_scan(const std::vector<ServerId>& replicas, const LearnedView& view,
+                 double demand, bool honor_suspicion) {
+  ServerId best = kInvalidServer;
+  double best_score = 0;
+  for (const ServerId candidate : replicas) {
+    if (honor_suspicion && view.suspects(candidate)) continue;
+    const double score = c3_score(view, candidate, demand);
+    if (best == kInvalidServer || score < best_score) {
+      best = candidate;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ServerId C3Selector::pick(const std::vector<ServerId>& replicas,
+                          const LearnedView& view, const SelectionContext& ctx,
+                          Rng& /*rng*/) {
+  const ServerId best =
+      c3_scan(replicas, view, ctx.demand_us, /*honor_suspicion=*/true);
+  if (best != kInvalidServer) return best;
+  // Every replica suspected: rank them all rather than refusing to send.
+  return c3_scan(replicas, view, ctx.demand_us, /*honor_suspicion=*/false);
+}
+
 std::unique_ptr<ReplicaSelector> make_selector(Mode mode) {
   switch (mode) {
     case Mode::kPrimary: return std::make_unique<PrimarySelector>();
@@ -182,6 +223,7 @@ std::unique_ptr<ReplicaSelector> make_selector(Mode mode) {
     case Mode::kLeastDelay: return std::make_unique<LeastDelaySelector>();
     case Mode::kTars: return std::make_unique<TarsSelector>();
     case Mode::kPowerOfD: return std::make_unique<PowerOfDSelector>();
+    case Mode::kC3: return std::make_unique<C3Selector>();
   }
   DAS_CHECK_MSG(false, "unknown replica selection mode");
   return std::make_unique<PrimarySelector>();

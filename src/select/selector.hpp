@@ -43,10 +43,15 @@ enum class Mode {
   /// Power-of-d-choices: sample d (default 2) distinct replicas uniformly,
   /// take the one with the lower estimated completion.
   kPowerOfD,
+  /// C3-style cubic replica ranking: like least-delay, but the learned
+  /// queueing-delay term is expressed in units of the op's own service time
+  /// and CUBED, so a backlogged replica is penalised superlinearly and
+  /// clients back off it before it saturates.
+  kC3,
 };
 
 /// Canonical CLI token ("primary", "random", "least-delay", "tars",
-/// "power-of-d").
+/// "power-of-d", "c3").
 const char* to_string(Mode mode);
 
 /// Parses a CLI token (the exact strings of `to_string`). Returns false on an
@@ -214,6 +219,22 @@ class PowerOfDSelector final : public ReplicaSelector {
   /// Scratch candidate indices, reused across picks (no per-pick allocation
   /// in steady state).
   std::vector<ServerId> eligible_;
+};
+
+/// C3-style cubic ranking (Suresh et al., NSDI'15). The score of replica s
+/// for an op of demand δ is
+///
+///   rtt + service × (1 + q̂³),  service = δ/μ̂(s),  q̂ = d̂(s)/service
+///
+/// i.e. least-delay's linear backlog term d̂ is replaced by service×q̂³: a
+/// replica whose learned queueing delay is several multiples of this op's
+/// service time is penalised cubically, which empties concentration on a
+/// momentarily-fast replica before it herds. Suspicion-aware with the same
+/// all-suspected fallback as least-delay.
+class C3Selector final : public ReplicaSelector {
+ public:
+  ServerId pick(const std::vector<ServerId>& replicas, const LearnedView& view,
+                const SelectionContext& ctx, Rng& rng) override;
 };
 
 /// Factory for the configured mode.

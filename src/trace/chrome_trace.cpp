@@ -56,11 +56,18 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
   // Participants, in deterministic (sorted) order for the metadata block.
   std::set<ServerId> servers;
   std::set<ClientId> clients;
+  // Servers with store-model activity get an extra "storage" lane; tracked
+  // separately so synthetic-mode traces stay byte-identical.
+  std::set<ServerId> store_servers;
   bool cluster_lane = false;
   for (const TraceEvent& ev : tracer.events()) {
     if (ev.server != kInvalidServer) servers.insert(ev.server);
     if (ev.kind == EventKind::kFaultEvent && ev.server == kInvalidServer)
       cluster_lane = true;
+    if (ev.kind == EventKind::kStoreEvent ||
+        ev.kind == EventKind::kStoreCounterSample) {
+      store_servers.insert(ev.server);
+    }
     switch (ev.kind) {
       case EventKind::kRequestArrival:
       case EventKind::kOpSend:
@@ -87,6 +94,8 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
     meta("process_name", server_pid(s), 0, "server " + std::to_string(s));
     meta("thread_name", server_pid(s), 0, "service");
     meta("thread_name", server_pid(s), 1, "scheduler");
+    if (store_servers.count(s) != 0)
+      meta("thread_name", server_pid(s), 2, "storage");
   }
   for (const ClientId c : clients) {
     meta("process_name", client_pid(c), 0, "client " + std::to_string(c));
@@ -218,6 +227,51 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
         const bool on_server = ev.server != kInvalidServer;
         event(os, first, "i", on_server ? server_pid(ev.server) : kClusterPid,
               0, ev.t, extra.str());
+        break;
+      }
+      case EventKind::kStoreEvent: {
+        const auto kind = static_cast<StoreTraceKind>(static_cast<int>(ev.a));
+        // Compaction and write-stall window edges render as async spans on
+        // the storage lane; one id per (category, server) suffices because a
+        // model never overlaps two windows of the same kind.
+        const auto span = [&](const char* cat, bool begin) {
+          extra << R"(, "cat": ")" << cat << R"(", "name": ")" << cat
+                << R"(", "id": )";
+          id_str(extra, ev.server);
+          if (begin) {
+            extra << R"(, "args": {"debt_bytes": )";
+            num(extra, ev.b);
+            extra << "}";
+          }
+          event(os, first, begin ? "b" : "e", server_pid(ev.server), 2, ev.t,
+                extra.str());
+        };
+        switch (kind) {
+          case StoreTraceKind::kCompactionStart: span("compaction", true); break;
+          case StoreTraceKind::kCompactionEnd: span("compaction", false); break;
+          case StoreTraceKind::kWriteStallStart: span("write_stall", true); break;
+          case StoreTraceKind::kWriteStallEnd: span("write_stall", false); break;
+          case StoreTraceKind::kFlush:
+            extra << R"(, "s": "t", "name": "flush", "args": {"debt_bytes": )";
+            num(extra, ev.b);
+            extra << "}";
+            event(os, first, "i", server_pid(ev.server), 2, ev.t, extra.str());
+            break;
+        }
+        break;
+      }
+      case EventKind::kStoreCounterSample: {
+        const char* names[] = {"memtable_fill_bytes", "compaction_debt_bytes",
+                               "l0_runs"};
+        const double values[] = {ev.a, ev.b, ev.c};
+        for (int i = 0; i < 3; ++i) {
+          std::ostringstream cx;
+          cx << R"(, "name": ")" << names[i] << R"(", "args": {")" << names[i]
+             << R"(": )";
+          num(cx, values[i]);
+          cx << "}";
+          event(os, first, "C", server_pid(ev.server), 0, ev.t, cx.str());
+        }
         break;
       }
     }

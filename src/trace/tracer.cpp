@@ -19,6 +19,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kRequestComplete: return "request_complete";
     case EventKind::kCounterSample: return "counter_sample";
     case EventKind::kFaultEvent: return "fault_event";
+    case EventKind::kStoreEvent: return "store_event";
+    case EventKind::kStoreCounterSample: return "store_counter_sample";
   }
   DAS_CHECK_MSG(false, "unknown trace event kind");
   return "?";
@@ -36,6 +38,18 @@ const char* to_string(FaultTraceKind kind) {
     case FaultTraceKind::kLossEnd: return "loss_end";
   }
   DAS_CHECK_MSG(false, "unknown fault trace kind");
+  return "?";
+}
+
+const char* to_string(StoreTraceKind kind) {
+  switch (kind) {
+    case StoreTraceKind::kCompactionStart: return "compaction_start";
+    case StoreTraceKind::kCompactionEnd: return "compaction_end";
+    case StoreTraceKind::kWriteStallStart: return "write_stall_start";
+    case StoreTraceKind::kWriteStallEnd: return "write_stall_end";
+    case StoreTraceKind::kFlush: return "flush";
+  }
+  DAS_CHECK_MSG(false, "unknown store trace kind");
   return "?";
 }
 
@@ -207,6 +221,31 @@ void Tracer::fault_event(SimTime t, FaultTraceKind fault, ServerId server,
   ev.server = server;
   ev.a = static_cast<double>(fault);
   ev.b = factor;
+  record(ev);
+}
+
+void Tracer::store_transition(SimTime t, StoreTraceKind kind, ServerId server,
+                              double debt_bytes) {
+  TraceEvent ev;
+  ev.kind = EventKind::kStoreEvent;
+  ev.t = t;
+  ev.server = server;
+  ev.a = static_cast<double>(kind);
+  ev.b = debt_bytes;
+  record(ev);
+}
+
+void Tracer::store_counter_sample(SimTime t, ServerId server,
+                                  double memtable_fill_bytes,
+                                  double compaction_debt_bytes,
+                                  std::size_t l0_runs) {
+  TraceEvent ev;
+  ev.kind = EventKind::kStoreCounterSample;
+  ev.t = t;
+  ev.server = server;
+  ev.a = memtable_fill_bytes;
+  ev.b = compaction_debt_bytes;
+  ev.c = static_cast<double>(l0_runs);
   record(ev);
 }
 

@@ -45,6 +45,9 @@ enum class EventKind : std::uint8_t {
   kCounterSample,    // per-server gauges (a=backlog_us, b=mu_hat,
                      //   c=runnable depth, d=deferred depth)
   kFaultEvent,       // fault-plan instant (a=FaultTraceKind, b=factor)
+  kStoreEvent,       // store-model transition (a=StoreTraceKind, b=debt_bytes)
+  kStoreCounterSample,  // store gauges (a=memtable_fill_bytes,
+                        //   b=compaction_debt_bytes, c=l0 run count)
 };
 
 /// Stable lower-snake identifier, e.g. "op_defer", "service_start".
@@ -65,6 +68,20 @@ enum class FaultTraceKind : std::uint8_t {
 
 /// Stable lower-snake identifier, e.g. "crash", "slow_start".
 const char* to_string(FaultTraceKind kind);
+
+/// Mirror of store::StoreTransitionKind so the trace layer stays independent
+/// of the store library; the Server maps between the two when it forwards a
+/// model transition.
+enum class StoreTraceKind : std::uint8_t {
+  kCompactionStart,
+  kCompactionEnd,
+  kWriteStallStart,
+  kWriteStallEnd,
+  kFlush,
+};
+
+/// Stable lower-snake identifier, e.g. "compaction_start", "flush".
+const char* to_string(StoreTraceKind kind);
 
 /// One recorded event. Fixed-size so the ring stays cache-friendly; ids not
 /// meaningful for a kind are left at their defaults (kInvalidServer etc.).
@@ -124,6 +141,15 @@ class Tracer {
   /// `factor` carries the slowdown multiplier or burst loss probability.
   void fault_event(SimTime t, FaultTraceKind fault, ServerId server,
                    double factor);
+  /// Store-model transition (compaction/stall window edge, memtable flush);
+  /// `debt_bytes` is the compaction debt outstanding at the transition.
+  void store_transition(SimTime t, StoreTraceKind kind, ServerId server,
+                        double debt_bytes);
+  /// Sampled store-model gauges; piggybacks on the same arrival stride as
+  /// counter_sample.
+  void store_counter_sample(SimTime t, ServerId server,
+                            double memtable_fill_bytes,
+                            double compaction_debt_bytes, std::size_t l0_runs);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   /// Events rejected by the cap (explicit drop accounting: retained +

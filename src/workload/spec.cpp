@@ -92,6 +92,11 @@ RealDistPtr parse_real_dist(const std::string& spec) {
     if (parts.size() != 3) bad_arity(spec, "lognormal:MEAN:SIGMA");
     return make_lognormal_mean(to_double(spec, parts[1]), to_double(spec, parts[2]));
   }
+  if (family == "bimodal") {
+    if (parts.size() != 4) bad_arity(spec, "bimodal:SMALL:LARGE:P_LARGE");
+    return make_bimodal_real(to_double(spec, parts[1]), to_double(spec, parts[2]),
+                             to_double(spec, parts[3]));
+  }
   if (family == "gpareto") {
     if (parts.size() != 5) bad_arity(spec, "gpareto:LOC:SCALE:SHAPE:CAP");
     return make_generalized_pareto(to_double(spec, parts[1]),

@@ -7,7 +7,8 @@
 //   Int families:   fixed:K | uniform:LO:HI | geometric:P:CAP |
 //                   zipf:N:THETA | bimodal:SMALL:LARGE:P_LARGE
 //   Real families:  constant:V | uniform:LO:HI | exponential:MEAN |
-//                   lognormal:MEAN:SIGMA | gpareto:LOC:SCALE:SHAPE:CAP
+//                   lognormal:MEAN:SIGMA | bimodal:SMALL:LARGE:P_LARGE |
+//                   gpareto:LOC:SCALE:SHAPE:CAP
 //
 // Parsers throw std::logic_error with a precise message on malformed specs —
 // a typo must never silently run a different experiment.

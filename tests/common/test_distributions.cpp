@@ -141,6 +141,22 @@ TEST(Bimodal, OnlyTwoValues) {
   EXPECT_DOUBLE_EQ(d->mean(), 0.9 * 2 + 0.1 * 40);
 }
 
+TEST(BimodalReal, OnlyTwoValuesAndExactMean) {
+  auto d = make_bimodal_real(100.0, 4096.0, 0.25);
+  Rng rng{17};
+  int large = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d->sample(rng);
+    ASSERT_TRUE(x == 100.0 || x == 4096.0);
+    large += x == 4096.0;
+  }
+  EXPECT_NEAR(static_cast<double>(large) / n, 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.25 * 4096.0 + 0.75 * 100.0);
+  EXPECT_THROW(make_bimodal_real(0.0, 10.0, 0.5), std::logic_error);
+  EXPECT_THROW(make_bimodal_real(10.0, 5.0, 0.5), std::logic_error);
+}
+
 TEST(Discrete, RespectsWeights) {
   auto d = make_discrete({1, 5, 10}, {1.0, 2.0, 1.0});
   Rng rng{16};

@@ -16,8 +16,8 @@ struct ServerFixture : ::testing::Test {
 
   std::unique_ptr<Server> make_server(Server::Params params,
                                       sched::Policy policy = sched::Policy::kFcfs) {
-    auto server = std::make_unique<Server>(sim, params, sched::make_scheduler(policy),
-                                           metrics);
+    auto server = std::make_unique<Server>(sim, std::move(params),
+                                           sched::make_scheduler(policy), metrics);
     server->set_response_handler(
         [this](const OpResponse& r) { responses.push_back(r); });
     return server;
@@ -56,7 +56,7 @@ TEST_F(ServerFixture, MissOnUnknownKey) {
 TEST_F(ServerFixture, HalfSpeedDoublesServiceTime) {
   Server::Params params;
   params.speed_factor = 0.5;
-  auto server = make_server(params);
+  auto server = make_server(std::move(params));
   server->receive_op(op(1, 1, 40.0));
   sim.run();
   ASSERT_EQ(responses.size(), 1u);
@@ -66,7 +66,7 @@ TEST_F(ServerFixture, HalfSpeedDoublesServiceTime) {
 TEST_F(ServerFixture, SpeedProfileModulatesService) {
   Server::Params params;
   params.speed_profile = workload::make_step_rate({100.0}, {1.0, 0.5});
-  auto server = make_server(params);
+  auto server = make_server(std::move(params));
   server->receive_op(op(1, 1, 40.0));  // at t=0, speed 1.0 => done at 40
   sim.run();
   EXPECT_DOUBLE_EQ(responses[0].completed_at, 40.0);
@@ -92,7 +92,7 @@ TEST_F(ServerFixture, MuHatConvergesToTrueSpeed) {
   Server::Params params;
   params.speed_factor = 0.25;
   params.speed_alpha = 0.2;
-  auto server = make_server(params);
+  auto server = make_server(std::move(params));
   for (OperationId i = 0; i < 100; ++i) server->receive_op(op(i, 1, 10.0));
   sim.run();
   EXPECT_NEAR(server->mu_hat(), 0.25, 0.01);

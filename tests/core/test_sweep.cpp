@@ -182,8 +182,10 @@ TEST(BenchJson, EmitsWellformedReproducibleJson) {
   const auto outcomes = runner.run(2);
   const std::string json = bench_json_string("sweep_test", outcomes);
   expect_wellformed_json(json);
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"experiment\": \"sweep_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"storage\""), std::string::npos);
+  EXPECT_NE(json.find("\"compaction_busy_us\""), std::string::npos);
   EXPECT_NE(json.find("\"degradation\""), std::string::npos);
   EXPECT_NE(json.find("\"availability\""), std::string::npos);
   EXPECT_NE(json.find("\"mean_rct_us\""), std::string::npos);

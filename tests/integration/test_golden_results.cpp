@@ -121,7 +121,7 @@ struct SelectionGoldenRow {
 constexpr ReplicaSelection kSelectionModes[] = {
     ReplicaSelection::kPrimary,    ReplicaSelection::kRandom,
     ReplicaSelection::kLeastDelay, ReplicaSelection::kTars,
-    ReplicaSelection::kPowerOfD,
+    ReplicaSelection::kPowerOfD,   ReplicaSelection::kC3,
 };
 
 ClusterConfig selection_golden_config(ReplicaSelection selection, double load) {
@@ -138,6 +138,7 @@ const char* selection_token(ReplicaSelection selection) {
     case ReplicaSelection::kLeastDelay: return "ReplicaSelection::kLeastDelay";
     case ReplicaSelection::kTars: return "ReplicaSelection::kTars";
     case ReplicaSelection::kPowerOfD: return "ReplicaSelection::kPowerOfD";
+    case ReplicaSelection::kC3: return "ReplicaSelection::kC3";
   }
   return "ReplicaSelection::kPrimary";
 }
@@ -155,6 +156,8 @@ const SelectionGoldenRow kSelectionGolden[] = {
     {ReplicaSelection::kTars, 0.80, 504u, 177.07133119319812, 950.2208747876565},
     {ReplicaSelection::kPowerOfD, 0.50, 279u, 120.5384824696981, 549.72945676953248},
     {ReplicaSelection::kPowerOfD, 0.80, 467u, 168.45944438727741, 860.22256202222036},
+    {ReplicaSelection::kC3, 0.50, 308u, 128.04665772156497, 544.28659086092296},
+    {ReplicaSelection::kC3, 0.80, 504u, 168.51746036498113, 851.70550695269287},
     // clang-format on
 };
 

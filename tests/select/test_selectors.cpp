@@ -43,9 +43,9 @@ TEST(ModeStrings, RoundTripAndRejectUnknown) {
     EXPECT_EQ(parsed, mode);
   }
   Mode out = Mode::kRandom;
-  EXPECT_FALSE(mode_from_string("c3", out));
+  EXPECT_FALSE(mode_from_string("cubic", out));
   EXPECT_EQ(out, Mode::kRandom);  // untouched on failure
-  EXPECT_EQ(all_modes().size(), 5u);
+  EXPECT_EQ(all_modes().size(), 6u);
 }
 
 TEST(LoadShareModelTest, OnlyPrimaryConcentrates) {
@@ -273,6 +273,52 @@ TEST(PowerOfDSelectorTest, SuspectsAreNeverSampled) {
   // All suspected: deterministic plain fallback.
   f.suspected = {1, 1, 1, 1};
   f.d_est = {5.0, 1.0, 2.0, 3.0};
+  EXPECT_EQ(sel.pick(replicas, f.view(), kCtx, rng), 1u);
+}
+
+TEST(C3SelectorTest, ColdViewMatchesLeastDelay) {
+  // With no learned delay the cubic term vanishes and the C3 score is
+  // rtt + service — the least-delay ranking, first-replica tie-break and all.
+  ViewFixture f(3);
+  f.mu_est = {1.0, 2.0, 0.5};  // replica 1 is the fastest
+  C3Selector c3;
+  LeastDelaySelector ld;
+  Rng rng{1};
+  const std::vector<ServerId> replicas = {0, 1, 2};
+  EXPECT_EQ(c3.pick(replicas, f.view(), kCtx, rng),
+            ld.pick(replicas, f.view(), kCtx, rng));
+  ViewFixture flat(3);
+  EXPECT_EQ(c3.pick({2, 0, 1}, flat.view(), kCtx, rng), 2u);  // tie: first
+}
+
+TEST(C3SelectorTest, CubicPenaltyOutweighsLinearDelay) {
+  // demand 40: replica 0 has 100us of learned backlog (q̂=2.5 services), so
+  // its cubic score is 10 + 40·(1+15.6) ≈ 677 while least-delay scores it
+  // 10+100+40 = 150 — still ahead of replica 1's raw-but-slow 10+0+160=170.
+  // C3 flips the pick to the idle slow replica (score 10+160=170): queue
+  // depth dominates raw speed once it compounds.
+  ViewFixture f(2);
+  f.d_est = {100.0, 0.0};
+  f.mu_est = {1.0, 0.25};
+  C3Selector c3;
+  LeastDelaySelector ld;
+  Rng rng{1};
+  const std::vector<ServerId> replicas = {0, 1};
+  EXPECT_EQ(ld.pick(replicas, f.view(), kCtx, rng), 0u);
+  EXPECT_EQ(c3.pick(replicas, f.view(), kCtx, rng), 1u);
+}
+
+TEST(C3SelectorTest, SkipsSuspectsAndFallsBackWhenAllSuspected) {
+  ViewFixture f(3);
+  f.d_est = {50.0, 5.0, 20.0};
+  C3Selector sel;
+  Rng rng{1};
+  const std::vector<ServerId> replicas = {0, 1, 2};
+  EXPECT_EQ(sel.pick(replicas, f.view(), kCtx, rng), 1u);
+  f.suspected[1] = 1;
+  EXPECT_EQ(sel.pick(replicas, f.view(), kCtx, rng), 2u);
+  f.suspected.assign(3, 1);
+  // All suspected: plain cubic ranking rather than refusing to send.
   EXPECT_EQ(sel.pick(replicas, f.view(), kCtx, rng), 1u);
 }
 

@@ -18,6 +18,7 @@ TEST(SpecParse, RealFamilies) {
   EXPECT_DOUBLE_EQ(parse_real_dist("uniform:10:760")->mean(), 385.0);
   EXPECT_DOUBLE_EQ(parse_real_dist("exponential:385")->mean(), 385.0);
   EXPECT_DOUBLE_EQ(parse_real_dist("lognormal:385:1.5")->mean(), 385.0);
+  EXPECT_DOUBLE_EQ(parse_real_dist("bimodal:100:4096:0.25")->mean(), 1099.0);
   EXPECT_GT(parse_real_dist("gpareto:1:250:0.35:65536")->mean(), 1.0);
 }
 

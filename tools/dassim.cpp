@@ -188,7 +188,7 @@ int main(int argc, char** argv) {
   flags.define("replication", "1", "copies per key");
   flags.define("selection", "primary",
                "replica selection: primary | random | least-delay | tars | "
-               "power-of-d");
+               "power-of-d | c3");
   flags.define("replica-selection", "",
                "alias of --selection (takes precedence when set)");
   flags.define("stragglers", "0", "fraction of servers at reduced speed");
@@ -221,6 +221,23 @@ int main(int argc, char** argv) {
                "preempt-resume service (oracle upper bound)");
   flags.define("write-fraction", "0",
                "fraction of requests that are write-all PUTs");
+  flags.define("store", "synthetic",
+               "service-time model: 'synthetic' (client-computed demand) or "
+               "'lsm' (memtable/flush/compaction storage engine)");
+  flags.define("lsm-memtable-kb", "64", "LSM memtable flush threshold (KB)");
+  flags.define("lsm-compact-trigger", "2",
+               "L0 runs that trigger a background compaction");
+  flags.define("lsm-drain-bpus", "16",
+               "background compaction drain rate (bytes/us)");
+  flags.define("lsm-compact-slowdown", "0.6",
+               "effective-speed factor while compacting, in (0,1]");
+  flags.define("lsm-stall-kb", "256",
+               "compaction debt (KB) at which writes start stalling");
+  flags.define("lsm-stall-mult", "4",
+               "write cost multiplier while stalled (>= 1)");
+  flags.define("lsm-interference", "true",
+               "false = compaction costs nothing and writes never stall (the "
+               "E20 control arm; the flush/compaction state machine still runs)");
   flags.define("warmup-ms", "30", "warmup window (ms, excluded from metrics)");
   flags.define("measure-ms", "200", "measurement window (ms)");
   flags.define("seed", "42", "simulation seed");
@@ -332,6 +349,18 @@ int main(int argc, char** argv) {
   cfg.hedge_delay_us = flags.get_double("hedge-ms") * kMillisecond;
   cfg.preemptive_service = flags.get_bool("preemptive");
   cfg.write_fraction = flags.get_double("write-fraction");
+  if (!core::store_model_from_string(flags.get_string("store"), cfg.store_model)) {
+    std::cerr << "unknown --store: " << flags.get_string("store") << "\n";
+    return 2;
+  }
+  cfg.lsm.memtable_bytes = flags.get_double("lsm-memtable-kb") * 1024.0;
+  cfg.lsm.l0_compaction_trigger =
+      static_cast<std::size_t>(flags.get_int("lsm-compact-trigger"));
+  cfg.lsm.compaction_bytes_per_us = flags.get_double("lsm-drain-bpus");
+  cfg.lsm.compaction_capacity_factor = flags.get_double("lsm-compact-slowdown");
+  cfg.lsm.stall_debt_bytes = flags.get_double("lsm-stall-kb") * 1024.0;
+  cfg.lsm.stall_write_multiplier = flags.get_double("lsm-stall-mult");
+  cfg.lsm.interference = flags.get_bool("lsm-interference");
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   cfg.audit_every_events = static_cast<std::uint64_t>(flags.get_int("audit-every"));
   const double straggler_fraction = flags.get_double("stragglers");
