@@ -149,6 +149,7 @@ double Collector::metric_value(const core::ExperimentResult& r,
   if (metric == "failover_ok")
     return static_cast<double>(r.requests_completed_after_failover);
   if (metric == "ops_failed_over") return static_cast<double>(r.ops_failed_over);
+  if (metric == "jain") return r.jain_fairness;
   DAS_CHECK_MSG(false, "unknown metric: " + metric);
   return 0;
 }
@@ -189,12 +190,16 @@ void Collector::print_table(std::ostream& os, const std::string& experiment,
   for (const sched::Policy p : policies) headers.push_back(sched::to_string(p));
   if (has_fcfs && has_das) headers.push_back("das vs fcfs");
 
+  // Dimensionless ratio metrics read better with full precision than the
+  // one-decimal µs default.
+  const int precision =
+      metric == "jain" || metric == "availability" ? 4 : 1;
   Table table{headers};
   for (const std::string& point : points) {
     std::vector<std::string> cells{point};
     for (const sched::Policy p : policies) {
       const core::ExperimentResult* r = find_result(point, p);
-      cells.push_back(r ? Table::fmt(metric_value(*r, metric), 1) : "-");
+      cells.push_back(r ? Table::fmt(metric_value(*r, metric), precision) : "-");
     }
     if (has_fcfs && has_das) {
       const core::ExperimentResult* fcfs = find_result(point, sched::Policy::kFcfs);

@@ -1,0 +1,66 @@
+// E21 (extension) — Multi-tenant fairness: does DAS protect a small tenant?
+// N tenants share one cluster (equal keyspace slices, arrival rate split by
+// share); the question is how the per-tenant mean RCTs spread — summarised
+// by the Jain index over tenant means (1.0 = perfectly even) — under three
+// tenant mixes:
+//
+//   uniform      four identical YCSB-B tenants: the fairness control. Any
+//                policy should land near J = 1.
+//   one-heavy    three small YCSB-B tenants next to one write-heavy,
+//                hot-keyed YCSB-A tenant with 5x the arrival share: the noisy
+//                neighbour. Request-level scheduling (REIN/DAS) orders ops by
+//                request metadata, not tenant identity, so protection is
+//                indirect — shorter queues help everyone, but nothing stops
+//                the heavy tenant's ops from crowding a hot server.
+//   drift-storm  a steady YCSB-B tenant next to a skewed tenant whose
+//                popularity rotates every 20ms and which aims 60% of its
+//                keys at a 4-key hot set for half the measurement window:
+//                fairness under a popularity regime change.
+//
+// Expectation: DAS compresses everyone's RCT (its usual gain) and lifts J
+// somewhat in one-heavy/drift-storm via shorter queues at the hot servers —
+// but it is NOT a fairness scheduler, and the honest reading of this table
+// is how much unfairness remains (see EXPERIMENTS.md E21).
+#include "bench_common.hpp"
+#include "workload/registry.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = dasbench::eval_config();
+  cfg.zipf_theta = 0.9;
+  // Skewed tenants need the exact hottest-server calibration: at theta 0.9
+  // the average-capacity rate would push the hottest server past 1.0 and
+  // every arm would just measure saturation.
+  cfg.load_calibration = das::core::LoadCalibration::kHottestServer;
+  cfg.target_load = 0.85;
+  const auto window = dasbench::eval_window();
+  const std::vector<das::sched::Policy> policies = {
+      das::sched::Policy::kFcfs, das::sched::Policy::kReinSbf,
+      das::sched::Policy::kDas};
+
+  struct Scenario {
+    const char* label;
+    const char* tenants;
+  };
+  // Storm/drift times are µs into the run; the 80–150ms storm sits inside
+  // the 30ms-warmup + 200ms measurement window.
+  const Scenario scenarios[] = {
+      {"uniform",
+       "ycsb-b+name:t0;ycsb-b+name:t1;ycsb-b+name:t2;ycsb-b+name:t3"},
+      {"one-heavy",
+       "ycsb-b+name:small0;ycsb-b+name:small1;ycsb-b+name:small2;"
+       "ycsb-a+zipf:1.1+share:5+name:heavy"},
+      {"drift-storm",
+       "ycsb-b+name:steady;"
+       "ycsb-b+zipf:1.1+drift:20000:13+storm:80000:150000:4:0.6:7+name:bursty"},
+  };
+  for (const Scenario& scenario : scenarios) {
+    cfg.tenants = das::workload::parse_tenants(scenario.tenants);
+    dasbench::register_point("E21_tenants", scenario.label, cfg, window,
+                             policies);
+  }
+  return dasbench::bench_main(
+      argc, argv, "E21_tenants",
+      {{"Mean RCT by tenant mix", "mean"},
+       {"p99 RCT by tenant mix", "p99"},
+       {"Jain fairness over per-tenant mean RCT", "jain"}});
+}

@@ -61,7 +61,9 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
 
   // v4: added the always-present "storage" block (store-model counters;
   // all-zero under the synthetic model).
-  os << "{\n  \"schema_version\": 4,\n  \"experiment\": ";
+  // v5: added "jain_fairness" and the "tenants" array (per-tenant RCT and
+  // accounting; empty for single-tenant runs).
+  os << "{\n  \"schema_version\": 5,\n  \"experiment\": ";
   json_string(os, experiment);
   os << ",\n  \"points\": [";
   bool first = true;
@@ -130,6 +132,35 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
     os << ",\n        \"write_stall_us\": ";
     json_double(os, r.store_write_stall_us);
     os << "\n      }";
+    os << ",\n      \"jain_fairness\": ";
+    json_double(os, r.jain_fairness);
+    os << ",\n      \"tenants\": [";
+    bool first_tenant = true;
+    for (const TenantOutcome& tenant : r.tenants) {
+      os << (first_tenant ? "\n" : ",\n") << "        {\n          \"name\": ";
+      first_tenant = false;
+      json_string(os, tenant.name);
+      os << ",\n          \"share\": ";
+      json_double(os, tenant.share);
+      os << ",\n          \"requests_generated\": " << tenant.requests_generated;
+      os << ",\n          \"requests_completed\": " << tenant.requests_completed;
+      os << ",\n          \"requests_failed\": " << tenant.requests_failed;
+      os << ",\n          \"requests_measured\": " << tenant.requests_measured;
+      os << ",\n          \"requests_failed_measured\": "
+         << tenant.requests_failed_measured;
+      const auto tenant_field = [&](const char* name, double v) {
+        os << ",\n          \"" << name << "\": ";
+        json_double(os, v);
+      };
+      tenant_field("mean_rct_us", tenant.rct.mean);
+      tenant_field("p50_us", tenant.rct.p50);
+      tenant_field("p95_us", tenant.rct.p95);
+      tenant_field("p99_us", tenant.rct.p99);
+      tenant_field("p999_us", tenant.rct.p999);
+      tenant_field("max_us", tenant.rct.max);
+      os << "\n        }";
+    }
+    os << (first_tenant ? "]" : "\n      ]");
     const double fcfs = fcfs_mean(row.point);
     os << ",\n      \"gain_vs_fcfs_pct\": ";
     if (fcfs > 0) {

@@ -2,10 +2,10 @@
 //
 // Every bench (and dassim --sweep) can persist its sweep as
 // BENCH_<experiment>.json so the perf trajectory is machine-readable instead
-// of living only in printed tables. Schema (schema_version 3):
+// of living only in printed tables. Schema (schema_version 5):
 //
 //   {
-//     "schema_version": 3,
+//     "schema_version": 5,
 //     "experiment": "E1_load_mean",
 //     "points": [
 //       {
@@ -30,17 +30,32 @@
 //           "server_crashes": ..., "server_recoveries": ...,
 //           "messages_dropped_partition": ...
 //         },
+//         "storage": { ... },        // store-model counters (all zero when
+//                                    // the synthetic model prices service)
+//         "jain_fairness": ...,      // 1.0 for single-tenant runs
+//         "tenants": [               // one object per configured tenant;
+//           {                        // [] for single-tenant (legacy) runs
+//             "name": "t0", "share": 1.0,
+//             "requests_generated": ..., "requests_completed": ...,
+//             "requests_failed": ..., "requests_measured": ...,
+//             "requests_failed_measured": ...,
+//             "mean_rct_us": ..., "p50_us": ..., "p95_us": ...,
+//             "p99_us": ..., "p999_us": ..., "max_us": ...
+//           }, ...
+//         ],
 //         "gain_vs_fcfs_pct": ...,   // null when the point has no FCFS row
 //         "wall_seconds": ...        // NOT deterministic; everything else is
 //       }, ...
 //     ]
 //   }
 //
-// schema_version history: 3 added the per-point "degradation" object (fault
-// plans, failover and graceful-degradation accounting); 2 added the
-// mechanism counters and the per-point "breakdown" object (PR 3); 1 was the
-// initial shape. (The perf emitter below stays at schema_version 2 — its
-// shape did not change.)
+// schema_version history: 5 added "jain_fairness" and the per-tenant
+// "tenants" array (workload registry / multi-tenancy); 4 added the
+// always-present "storage" object (store-model counters); 3 added the
+// per-point "degradation" object (fault plans, failover and
+// graceful-degradation accounting); 2 added the mechanism counters and the
+// per-point "breakdown" object (PR 3); 1 was the initial shape. (The perf
+// emitter below stays at schema_version 2 — its shape did not change.)
 //
 // Points appear in registration order; all fields except wall_seconds are
 // bit-reproducible for a fixed seed, so diffs of two emissions reveal real

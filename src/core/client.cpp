@@ -10,16 +10,27 @@
 
 namespace das::core {
 
+namespace {
+
+std::vector<Client::TenantStream> single_stream(
+    const workload::MultigetGenerator& generator, workload::ArrivalPtr arrivals) {
+  std::vector<Client::TenantStream> tenants(1);
+  tenants[0].generator = &generator;
+  tenants[0].arrivals = std::move(arrivals);
+  return tenants;
+}
+
+}  // namespace
+
 Client::Client(sim::Simulator& sim, Params params, Rng rng,
-               const workload::MultigetGenerator& generator,
-               workload::ArrivalPtr arrivals, const store::Partitioner& partitioner,
+               std::vector<TenantStream> tenants,
+               const store::Partitioner& partitioner,
                std::vector<Bytes>& key_sizes, Metrics& metrics, SendOp send_op,
                SendProgress send_progress)
     : sim_(sim),
       params_(params),
       rng_(rng),
-      generator_(generator),
-      arrivals_(std::move(arrivals)),
+      tenants_(std::move(tenants)),
       partitioner_(partitioner),
       key_sizes_(key_sizes),
       metrics_(metrics),
@@ -31,10 +42,30 @@ Client::Client(sim::Simulator& sim, Params params, Rng rng,
       // (das-rng-discipline).
       retry_rng_(Rng{rng_}.fork(0xBAC0FFull + params_.id)) {
   DAS_CHECK(params_.num_servers >= 1);
-  DAS_CHECK(arrivals_ != nullptr);
+  DAS_CHECK(params_.num_clients >= 1);
+  DAS_CHECK(!tenants_.empty());
+  for (const TenantStream& tenant : tenants_) {
+    if (tenant.replay != nullptr) {
+      DAS_CHECK_MSG(tenant.generator == nullptr && tenant.arrivals == nullptr,
+                    "a replay tenant takes its stream from the trace");
+    } else {
+      DAS_CHECK(tenant.generator != nullptr);
+      DAS_CHECK(tenant.arrivals != nullptr);
+    }
+  }
   DAS_CHECK(send_op_ != nullptr);
   DAS_CHECK(send_progress_ != nullptr);
   DAS_CHECK(params_.ewma_alpha > 0 && params_.ewma_alpha <= 1);
+  // Tenants past the first get their own workload streams, forked off COPIES
+  // so neither rng_ nor the single-tenant draw sequence is perturbed.
+  extra_tenant_rngs_.reserve(tenants_.size() - 1);
+  for (std::size_t t = 1; t < tenants_.size(); ++t) {
+    extra_tenant_rngs_.push_back(
+        Rng{rng_}.fork(0x7E4A0000ull + t * 0x10001ull + params_.id));
+  }
+  tenant_generated_.assign(tenants_.size(), 0);
+  tenant_completed_.assign(tenants_.size(), 0);
+  tenant_failed_.assign(tenants_.size(), 0);
   d_est_.assign(params_.num_servers, 0.0);
   mu_est_.assign(params_.num_servers, 1.0);
   selector_ = select::make_selector(params_.replica_selection);
@@ -42,14 +73,46 @@ Client::Client(sim::Simulator& sim, Params params, Rng rng,
   suspected_.assign(params_.num_servers, 0);
 }
 
-void Client::start(SimTime horizon) { schedule_next_arrival(horizon); }
+Client::Client(sim::Simulator& sim, Params params, Rng rng,
+               const workload::MultigetGenerator& generator,
+               workload::ArrivalPtr arrivals, const store::Partitioner& partitioner,
+               std::vector<Bytes>& key_sizes, Metrics& metrics, SendOp send_op,
+               SendProgress send_progress)
+    : Client(sim, params, rng, single_stream(generator, std::move(arrivals)),
+             partitioner, key_sizes, metrics, std::move(send_op),
+             std::move(send_progress)) {}
 
-void Client::schedule_next_arrival(SimTime horizon) {
-  const SimTime next = arrivals_->next_arrival_after(sim_.now(), rng_);
+void Client::start(SimTime horizon) {
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    if (tenants_[t].replay != nullptr) {
+      schedule_replay(t, params_.id % params_.num_clients, horizon);
+    } else {
+      schedule_next_arrival(t, horizon);
+    }
+  }
+}
+
+void Client::schedule_next_arrival(std::size_t tenant, SimTime horizon) {
+  const SimTime next =
+      tenants_[tenant].arrivals->next_arrival_after(sim_.now(), tenant_rng(tenant));
   if (next >= horizon) return;
-  sim_.schedule_at(next, [this, horizon] {
-    generate_request();
-    schedule_next_arrival(horizon);
+  sim_.schedule_at(next, [this, tenant, horizon] {
+    generate_request(tenant);
+    schedule_next_arrival(tenant, horizon);
+  });
+}
+
+void Client::schedule_replay(std::size_t tenant, std::size_t index,
+                             SimTime horizon) {
+  const auto& records = tenants_[tenant].replay->records;
+  if (index >= records.size()) return;
+  const workload::ReplayRecord& rec = records[index];
+  if (rec.timestamp_us >= horizon) return;
+  // Chain-schedule one record at a time (like the synthetic arrival chain)
+  // so the event heap holds one pending arrival per stream, not the file.
+  sim_.schedule_at(rec.timestamp_us, [this, tenant, index, horizon] {
+    generate_replay_request(tenant, index);
+    schedule_replay(tenant, index + params_.num_clients, horizon);
   });
 }
 
@@ -90,54 +153,111 @@ ServerId Client::pick_server(KeyId key, double demand) {
                          {demand, key, sim_.now()}, rng_);
 }
 
-void Client::generate_request() {
+void Client::generate_request(std::size_t tenant) {
   const SimTime now = sim_.now();
+  const TenantStream& stream = tenants_[tenant];
+  Rng& rng = tenant_rng(tenant);
 
-  // Plan the request's operations: either a multiget fan-out (one GET per
-  // distinct key at its chosen replica) or a single-key write-all PUT (one
-  // op per replica of the key).
-  struct PlannedOp {
-    KeyId key = 0;
-    ServerId server = 0;
-    double demand = 0;
-    bool is_write = false;
-    Bytes write_size = 0;
-  };
+  // Plan the request's operations: a multiget fan-out (one GET per distinct
+  // key at its chosen replica), a single-key write-all PUT (one op per
+  // replica), or a read-modify-write (write-all whose per-replica demand
+  // covers reading the old value plus writing the new one).
   std::vector<PlannedOp> plan;
-  const bool is_write =
-      params_.write_fraction > 0 && rng_.chance(params_.write_fraction);
+  bool is_write = false;
+  bool is_rmw = false;
+  if (stream.has_mix) {
+    const workload::OpKind kind = stream.mix.sample(rng);
+    is_write = kind != workload::OpKind::kRead;
+    is_rmw = kind == workload::OpKind::kRmw;
+  } else {
+    // Legacy draw order: the Bernoulli is only consumed when write_fraction
+    // is set, keeping read-only runs bit-identical to pre-mix builds.
+    is_write = params_.write_fraction > 0 && rng.chance(params_.write_fraction);
+  }
   if (is_write) {
-    const KeyId key = generator_.sample_key(rng_);
+    const KeyId key = stream.generator->sample_key(rng, now);
+    const Bytes old_size = key_sizes_[key];
+    const RealDistPtr& write_dist =
+        stream.write_size_bytes ? stream.write_size_bytes : params_.write_size_bytes;
     const Bytes new_size =
-        params_.write_size_bytes
-            ? static_cast<Bytes>(
-                  std::max(1.0, std::round(params_.write_size_bytes->sample(rng_))))
-            : key_sizes_[key];
+        write_dist ? static_cast<Bytes>(
+                         std::max(1.0, std::round(write_dist->sample(rng))))
+                   : old_size;
     // The writer knows the size it is writing; publish it to the shared
     // catalogue so demand estimates track the store's contents.
     key_sizes_[key] = new_size;
     const double demand =
-        params_.per_op_overhead_us +
-        static_cast<double>(new_size) / params_.service_bytes_per_us;
+        is_rmw ? 2.0 * params_.per_op_overhead_us +
+                     static_cast<double>(old_size + new_size) /
+                         params_.service_bytes_per_us
+               : params_.per_op_overhead_us +
+                     static_cast<double>(new_size) / params_.service_bytes_per_us;
+    if (recorder_ != nullptr) {
+      recorder_->records.push_back(
+          {now, workload::ReplayOp::kWrite, key, new_size});
+    }
     for (const ServerId server :
          partitioner_.replicas_for(key, std::max<std::size_t>(params_.replication, 1))) {
       plan.emplace_back(key, server, demand, true, new_size);
     }
   } else {
-    const workload::MultigetSpec spec = generator_.generate(rng_);
+    const workload::MultigetSpec spec = stream.generator->generate(rng, now);
     DAS_CHECK(!spec.keys.empty());
     plan.reserve(spec.keys.size());
     for (const KeyId key : spec.keys) {
       const double demand = op_demand_us(key);
+      if (recorder_ != nullptr) {
+        recorder_->records.push_back(
+            {now, workload::ReplayOp::kRead, key, key_sizes_[key]});
+      }
       plan.emplace_back(key, pick_server(key, demand), demand, false, 0);
     }
   }
+  dispatch_plan(tenant, plan);
+}
 
+void Client::generate_replay_request(std::size_t tenant, std::size_t index) {
+  const SimTime now = sim_.now();
+  const workload::ReplayRecord& rec = tenants_[tenant].replay->records[index];
+  DAS_CHECK_MSG(rec.key < key_sizes_.size(),
+                "replay record references a key outside the keyspace");
+  std::vector<PlannedOp> plan;
+  if (rec.op == workload::ReplayOp::kWrite) {
+    const Bytes new_size = rec.size_bytes > 0 ? rec.size_bytes : key_sizes_[rec.key];
+    key_sizes_[rec.key] = new_size;
+    const double demand =
+        params_.per_op_overhead_us +
+        static_cast<double>(new_size) / params_.service_bytes_per_us;
+    if (recorder_ != nullptr) {
+      recorder_->records.push_back(
+          {now, workload::ReplayOp::kWrite, rec.key, new_size});
+    }
+    for (const ServerId server : partitioner_.replicas_for(
+             rec.key, std::max<std::size_t>(params_.replication, 1))) {
+      plan.emplace_back(rec.key, server, demand, true, new_size);
+    }
+  } else {
+    // The trace's size is authoritative for the key's catalogued size: the
+    // replayed store serves what the traced store served.
+    if (rec.size_bytes > 0) key_sizes_[rec.key] = rec.size_bytes;
+    const double demand = op_demand_us(rec.key);
+    if (recorder_ != nullptr) {
+      recorder_->records.push_back(
+          {now, workload::ReplayOp::kRead, rec.key, key_sizes_[rec.key]});
+    }
+    plan.emplace_back(rec.key, pick_server(rec.key, demand), demand, false, 0);
+  }
+  dispatch_plan(tenant, plan);
+}
+
+void Client::dispatch_plan(std::size_t tenant, const std::vector<PlannedOp>& plan) {
+  const SimTime now = sim_.now();
   const RequestId rid =
       (static_cast<RequestId>(params_.id) << 48) | next_request_seq_++;
 
   PendingRequest pending;
   pending.arrival = now;
+  pending.tenant = static_cast<std::uint32_t>(tenant);
   pending.ops.reserve(plan.size());
 
   // Per-server aggregates: (op count, demand sum) for the Rein bottleneck
@@ -232,6 +352,7 @@ void Client::generate_request() {
     }
   }
   ++requests_generated_;
+  ++tenant_generated_[tenant];
 }
 
 void Client::arm_hedge(RequestId rid, PendingOp& op) {
@@ -342,10 +463,11 @@ void Client::abandon_op(RequestId rid, PendingOp& op) {
   --req.remaining;
   if (req.remaining == 0) {
     const SimTime now = sim_.now();
-    metrics_.record_request_failure(req.arrival, now);
+    metrics_.record_request_failure(req.arrival, now, req.tenant);
     if (tracer_ != nullptr) {
       tracer_->request_complete(now, rid, params_.id, now - req.arrival);
     }
+    ++tenant_failed_[req.tenant];
     pending_.erase(req_it);
     ++requests_failed_;
   }
@@ -404,15 +526,16 @@ void Client::on_response(const OpResponse& resp) {
       // A sibling op was abandoned earlier: the request is failed as a
       // whole even though this last op did get served. Its latency must not
       // enter the RCT population.
-      metrics_.record_request_failure(req.arrival, now);
+      metrics_.record_request_failure(req.arrival, now, req.tenant);
       if (tracer_ != nullptr) {
         tracer_->request_complete(now, rid, params_.id, now - req.arrival);
       }
+      ++tenant_failed_[req.tenant];
       pending_.erase(req_it);
       ++requests_failed_;
       return;
     }
-    metrics_.record_request(req.arrival, now, req.ops.size());
+    metrics_.record_request(req.arrival, now, req.ops.size(), req.tenant);
     if (req.failed_over) ++requests_completed_failover_;
     if (tracer_ != nullptr) {
       tracer_->request_complete(now, rid, params_.id, now - req.arrival);
@@ -428,6 +551,7 @@ void Client::on_response(const OpResponse& resp) {
       breakdown_->record(trace::make_request_breakdown(
           req.arrival, now, pop->timing, slack_sum, req.ops.size()));
     }
+    ++tenant_completed_[req.tenant];
     pending_.erase(req_it);
     ++requests_completed_;
     return;

@@ -24,7 +24,9 @@
 #include "trace/rct_breakdown.hpp"
 #include "trace/tracer.hpp"
 #include "workload/arrival.hpp"
+#include "workload/mix.hpp"
 #include "workload/multiget.hpp"
+#include "workload/replay.hpp"
 
 namespace das::core {
 
@@ -33,6 +35,9 @@ class Client {
   struct Params {
     ClientId id = 0;
     std::size_t num_servers = 0;
+    /// Total clients in the cluster; replay tenants shard trace records
+    /// across clients by index stride (client c takes records i ≡ c mod N).
+    std::size_t num_clients = 1;
     /// Per-op demand model (must match the servers' service model).
     double per_op_overhead_us = 0;
     double service_bytes_per_us = 1;
@@ -78,18 +83,41 @@ class Client {
     Duration hedge_delay_us = 0;
     /// Fraction of requests that are single-key PUTs fanned out to ALL
     /// replicas (write-all); the rest are multigets. 0 = read-only.
+    /// Applies to tenants that do not carry their own operation mix.
     double write_fraction = 0;
     /// Sizes of written values; nullptr falls back to existing key size.
     RealDistPtr write_size_bytes;
+  };
+
+  /// One tenant's traffic source as seen by this client. A synthetic tenant
+  /// has a generator plus an arrival process; a replay tenant has a trace
+  /// (records sharded across clients by index stride) and neither.
+  struct TenantStream {
+    const workload::MultigetGenerator* generator = nullptr;
+    workload::ArrivalPtr arrivals;
+    /// has_mix=false inherits the legacy Params::write_fraction behaviour.
+    bool has_mix = false;
+    workload::OpMix mix{};
+    /// Write sizes for this tenant; nullptr falls back to the cluster-wide
+    /// Params::write_size_bytes (then to the key's existing size).
+    RealDistPtr write_size_bytes;
+    const workload::ReplayTrace* replay = nullptr;
   };
 
   using SendOp = std::function<void(ServerId, const sched::OpContext&)>;
   using SendProgress =
       std::function<void(ServerId, RequestId, const sched::ProgressUpdate&)>;
 
-  /// `key_sizes` is the shared size catalogue; writes update it in place
-  /// (the writer knows the size it wrote; other clients' estimates converge
-  /// on their next access).
+  /// Multi-tenant form: one TenantStream per tenant. `key_sizes` is the
+  /// shared size catalogue; writes update it in place (the writer knows the
+  /// size it wrote; other clients' estimates converge on their next access).
+  Client(sim::Simulator& sim, Params params, Rng rng,
+         std::vector<TenantStream> tenants, const store::Partitioner& partitioner,
+         std::vector<Bytes>& key_sizes, Metrics& metrics, SendOp send_op,
+         SendProgress send_progress);
+
+  /// Single-stream form (the legacy workload): wraps `generator` + `arrivals`
+  /// into one tenant. Bit-identical to pre-tenant builds.
   Client(sim::Simulator& sim, Params params, Rng rng,
          const workload::MultigetGenerator& generator,
          workload::ArrivalPtr arrivals, const store::Partitioner& partitioner,
@@ -108,6 +136,18 @@ class Client {
   std::uint64_t requests_generated() const { return requests_generated_; }
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t requests_failed() const { return requests_failed_; }
+  /// Per-tenant slices of the three counters above; the sums over tenants
+  /// equal the totals exactly (checked by Cluster::run).
+  std::uint64_t tenant_requests_generated(std::size_t t) const {
+    return tenant_generated_.at(t);
+  }
+  std::uint64_t tenant_requests_completed(std::size_t t) const {
+    return tenant_completed_.at(t);
+  }
+  std::uint64_t tenant_requests_failed(std::size_t t) const {
+    return tenant_failed_.at(t);
+  }
+  std::size_t tenant_count() const { return tenants_.size(); }
   std::uint64_t requests_completed_after_failover() const {
     return requests_completed_failover_;
   }
@@ -132,6 +172,10 @@ class Client {
   void set_breakdown_collector(trace::BreakdownCollector* collector) {
     breakdown_ = collector;
   }
+  /// Attaches a replay-trace sink that records every generated operation
+  /// (one record per read key, one per write) for later replay; nullptr
+  /// detaches. Purely observational.
+  void set_op_recorder(workload::ReplayTrace* sink) { recorder_ = sink; }
 
  private:
   struct PendingOp {
@@ -153,6 +197,8 @@ class Client {
   };
   struct PendingRequest {
     SimTime arrival = 0;
+    /// Index of the tenant that generated the request (0 in legacy mode).
+    std::uint32_t tenant = 0;
     std::vector<PendingOp> ops;
     std::size_t remaining = 0;
     double last_sent_critical = 0;
@@ -164,8 +210,30 @@ class Client {
     std::size_t failed_ops = 0;
   };
 
-  void schedule_next_arrival(SimTime horizon);
-  void generate_request();
+  /// What one planned operation looks like before tagging/sending.
+  struct PlannedOp {
+    KeyId key = 0;
+    ServerId server = 0;
+    double demand = 0;
+    bool is_write = false;
+    Bytes write_size = 0;
+  };
+
+  void schedule_next_arrival(std::size_t tenant, SimTime horizon);
+  void generate_request(std::size_t tenant);
+  /// Chain-schedules this client's next assigned replay record (>= `index`,
+  /// stepping by num_clients) of tenant `tenant`.
+  void schedule_replay(std::size_t tenant, std::size_t index, SimTime horizon);
+  void generate_replay_request(std::size_t tenant, std::size_t index);
+  /// Tags, accounts and sends a planned request (shared by the synthetic and
+  /// replay paths).
+  void dispatch_plan(std::size_t tenant, const std::vector<PlannedOp>& plan);
+  /// The RNG stream backing tenant `t`'s workload draws. Tenant 0 IS the
+  /// client stream (bit-identity with single-tenant builds); later tenants
+  /// fork from a copy at construction.
+  Rng& tenant_rng(std::size_t t) {
+    return t == 0 ? rng_ : extra_tenant_rngs_[t - 1];
+  }
   double op_demand_us(KeyId key) const;
   /// Target replica for `key` per the configured selection strategy.
   ServerId pick_server(KeyId key, double demand);
@@ -179,8 +247,7 @@ class Client {
   sim::Simulator& sim_;
   Params params_;
   Rng rng_;
-  const workload::MultigetGenerator& generator_;
-  workload::ArrivalPtr arrivals_;
+  std::vector<TenantStream> tenants_;
   const store::Partitioner& partitioner_;
   std::vector<Bytes>& key_sizes_;
   Metrics& metrics_;
@@ -188,6 +255,7 @@ class Client {
   SendProgress send_progress_;
   trace::Tracer* tracer_ = nullptr;
   trace::BreakdownCollector* breakdown_ = nullptr;
+  workload::ReplayTrace* recorder_ = nullptr;
 
   std::vector<double> d_est_;
   std::vector<double> mu_est_;
@@ -203,6 +271,10 @@ class Client {
   /// construction so the workload draws stay bit-identical to jitter-free
   /// builds; only armed retries consume from it.
   Rng retry_rng_;
+  /// Workload streams for tenants 1..N-1, each forked off a COPY of the
+  /// client RNG with a tenant-distinct tag. Tenant 0 uses rng_ directly so a
+  /// single-tenant run draws exactly like a pre-tenant build.
+  std::vector<Rng> extra_tenant_rngs_;
   /// Consecutive unanswered retry timeouts per server and the derived
   /// suspicion flags (failure detection).
   std::vector<std::uint32_t> rto_strikes_;
@@ -213,6 +285,10 @@ class Client {
   std::uint64_t requests_generated_ = 0;
   std::uint64_t requests_completed_ = 0;
   std::uint64_t requests_failed_ = 0;
+  /// Per-tenant slices of the request counters (always sized tenant_count()).
+  std::vector<std::uint64_t> tenant_generated_;
+  std::vector<std::uint64_t> tenant_completed_;
+  std::vector<std::uint64_t> tenant_failed_;
   std::uint64_t requests_completed_failover_ = 0;
   std::uint64_t ops_generated_ = 0;
   std::uint64_t progress_sent_ = 0;

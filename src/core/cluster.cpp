@@ -7,10 +7,24 @@
 #include "common/check.hpp"
 #include "core/wire.hpp"
 #include "workload/arrival.hpp"
+#include "workload/spec.hpp"
 
 namespace das::core {
 
 namespace {
+
+/// Tenant t's contiguous keyspace slice: equal floor(universe / count) keys
+/// each, the last tenant absorbing the remainder.
+struct TenantSlice {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+};
+
+TenantSlice tenant_slice(std::uint64_t universe, std::size_t count, std::size_t t) {
+  const std::uint64_t slice = universe / count;
+  const std::uint64_t base = slice * static_cast<std::uint64_t>(t);
+  return {base, t + 1 == count ? universe - base : slice};
+}
 
 bool policy_uses_progress(sched::Policy policy) {
   switch (policy) {
@@ -57,15 +71,39 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
                      : store::make_modulo_partitioner(config_.num_servers);
 
   // Key catalogue: sizes drawn once, shared by clients (demand estimation)
-  // and servers (stored values).
+  // and servers (stored values). With tenants, each key draws from its
+  // owning tenant's value-size distribution (inheriting the cluster's when
+  // the tenant sets none) — same single sequential stream either way, so the
+  // legacy path is untouched.
   const std::uint64_t universe =
       config_.num_servers * config_.keys_per_server;
+  const std::size_t tenant_count = config_.tenants.size();
+  tenant_value_dists_.resize(tenant_count);
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    tenant_value_dists_[t] =
+        config_.tenants[t].value_size_spec.empty()
+            ? config_.value_size_bytes
+            : workload::parse_real_dist(config_.tenants[t].value_size_spec);
+  }
   key_sizes_.resize(universe);
   {
     Rng size_rng = master.fork(0x512E);
-    for (auto& size : key_sizes_) {
-      size = static_cast<Bytes>(
-          std::max(1.0, std::round(config_.value_size_bytes->sample(size_rng))));
+    if (tenant_count == 0) {
+      for (auto& size : key_sizes_) {
+        size = static_cast<Bytes>(
+            std::max(1.0, std::round(config_.value_size_bytes->sample(size_rng))));
+      }
+    } else {
+      const std::uint64_t slice = universe / tenant_count;
+      for (std::uint64_t key = 0; key < universe; ++key) {
+        const std::size_t owner = slice == 0
+                                      ? tenant_count - 1
+                                      : std::min<std::size_t>(
+                                            tenant_count - 1,
+                                            static_cast<std::size_t>(key / slice));
+        key_sizes_[key] = static_cast<Bytes>(std::max(
+            1.0, std::round(tenant_value_dists_[owner]->sample(size_rng))));
+      }
     }
   }
 
@@ -133,15 +171,58 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
     });
   }
 
-  // Workload generator shared by all clients.
-  workload::MultigetGenerator::Config gen_cfg;
-  gen_cfg.key_universe = universe;
-  gen_cfg.zipf_theta = config_.zipf_theta;
-  gen_cfg.fanout = config_.fanout;
-  generator_ = std::make_unique<workload::MultigetGenerator>(gen_cfg);
+  // Workload generators. Legacy: one generator over the full keyspace shared
+  // by all clients. Tenants: one per tenant over its contiguous slice
+  // (replay tenants load their trace instead).
+  if (tenant_count == 0) {
+    workload::MultigetGenerator::Config gen_cfg;
+    gen_cfg.key_universe = universe;
+    gen_cfg.zipf_theta = config_.zipf_theta;
+    gen_cfg.fanout = config_.fanout;
+    generator_ = std::make_unique<workload::MultigetGenerator>(gen_cfg);
+  } else {
+    tenant_generators_.resize(tenant_count);
+    replay_traces_.resize(tenant_count);
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      const workload::TenantSpec& tenant = config_.tenants[t];
+      if (!tenant.replay_path.empty()) {
+        replay_traces_[t] = workload::ReplayTrace::load(tenant.replay_path);
+        DAS_CHECK_MSG(replay_traces_[t].empty() ||
+                          replay_traces_[t].max_key() < universe,
+                      "replay trace '" + tenant.replay_path +
+                          "' references keys outside the keyspace");
+        continue;
+      }
+      const TenantSlice slice = tenant_slice(universe, tenant_count, t);
+      workload::MultigetGenerator::Config gen_cfg;
+      gen_cfg.key_universe = slice.size;
+      gen_cfg.key_base = slice.base;
+      gen_cfg.zipf_theta =
+          tenant.zipf_theta >= 0 ? tenant.zipf_theta : config_.zipf_theta;
+      gen_cfg.fanout = tenant.fanout_spec.empty()
+                           ? config_.fanout
+                           : workload::parse_int_dist(tenant.fanout_spec);
+      // Distinct permutation per tenant so tenants' hot keys land on
+      // different servers instead of colliding rank-for-rank.
+      gen_cfg.rank_permutation_seed =
+          0x9E3779B9ull + 0xD1B54A32D192ED03ull * static_cast<std::uint64_t>(t);
+      gen_cfg.drift = tenant.drift;
+      tenant_generators_[t] =
+          std::make_unique<workload::MultigetGenerator>(gen_cfg);
+    }
+    metrics_.enable_tenants(tenant_count);
+  }
 
   // Clients.
-  const double total_rate = derived_request_rate();
+  bool any_synthetic = tenant_count == 0;
+  double share_sum = 0;
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    if (config_.tenants[t].replay_path.empty()) {
+      any_synthetic = true;
+      share_sum += config_.tenants[t].share;
+    }
+  }
+  const double total_rate = any_synthetic ? derived_request_rate() : 0.0;
   const double per_client_rate = total_rate / static_cast<double>(config_.num_clients);
   const bool progress =
       config_.progress_updates && policy_uses_progress(config_.policy);
@@ -171,12 +252,6 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
     params.write_size_bytes = config_.write_size_bytes ? config_.write_size_bytes
                                                        : config_.value_size_bytes;
 
-    workload::ArrivalPtr arrivals =
-        config_.load_profile
-            ? workload::make_modulated_poisson(per_client_rate, config_.load_profile,
-                                               window_.horizon())
-            : workload::make_poisson_arrivals(per_client_rate);
-
     auto send_op = [this](ServerId server, const sched::OpContext& ctx) {
       net_->send(client_node(ctx.client), server_node(server),
                  wire::op_wire_size(ctx),
@@ -191,10 +266,44 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
                  });
     };
 
-    clients_.push_back(std::make_unique<Client>(
-        sim_, params, master.fork(0xC11E47 + c), *generator_, std::move(arrivals),
-        *partitioner_, key_sizes_, metrics_, std::move(send_op),
-        std::move(send_progress)));
+    const auto make_arrivals = [&](double rate) -> workload::ArrivalPtr {
+      return config_.load_profile
+                 ? workload::make_modulated_poisson(rate, config_.load_profile,
+                                                    window_.horizon())
+                 : workload::make_poisson_arrivals(rate);
+    };
+
+    if (tenant_count == 0) {
+      clients_.push_back(std::make_unique<Client>(
+          sim_, params, master.fork(0xC11E47 + c), *generator_,
+          make_arrivals(per_client_rate), *partitioner_, key_sizes_, metrics_,
+          std::move(send_op), std::move(send_progress)));
+    } else {
+      params.num_clients = config_.num_clients;
+      std::vector<Client::TenantStream> streams(tenant_count);
+      for (std::size_t t = 0; t < tenant_count; ++t) {
+        const workload::TenantSpec& tenant = config_.tenants[t];
+        Client::TenantStream& stream = streams[t];
+        if (!tenant.replay_path.empty()) {
+          stream.replay = &replay_traces_[t];
+          continue;
+        }
+        stream.generator = tenant_generators_[t].get();
+        // The cluster rate splits across synthetic tenants by share, then
+        // across clients evenly.
+        stream.arrivals =
+            make_arrivals(per_client_rate * tenant.share / share_sum);
+        stream.has_mix = tenant.has_mix;
+        stream.mix = tenant.mix;
+        if (!tenant.value_size_spec.empty()) {
+          stream.write_size_bytes = tenant_value_dists_[t];
+        }
+      }
+      clients_.push_back(std::make_unique<Client>(
+          sim_, params, master.fork(0xC11E47 + c), std::move(streams),
+          *partitioner_, key_sizes_, metrics_, std::move(send_op),
+          std::move(send_progress)));
+    }
     if (tracer_ != nullptr) clients_.back()->set_tracer(tracer_);
     clients_.back()->set_breakdown_collector(&breakdown_);
   }
@@ -205,6 +314,7 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
 }
 
 double Cluster::derived_request_rate() const {
+  if (!config_.tenants.empty()) return derived_tenant_request_rate();
   if (config_.load_calibration == LoadCalibration::kAverageCapacity) {
     return config_.derived_arrival_rate(window_.horizon());
   }
@@ -272,6 +382,165 @@ double Cluster::derived_request_rate() const {
   }
   const double op_rate = config_.target_load / (hottest * load_profile_mean);
   return op_rate / config_.fanout->mean();
+}
+
+double Cluster::derived_tenant_request_rate() const {
+  // Multi-tenant calibration: the expected demand of one request is the
+  // share-weighted average across SYNTHETIC tenants of their mix-weighted
+  // read / update / read-modify-write work. Replay tenants contribute no
+  // derived load — their rate comes verbatim from the trace timestamps.
+  const std::size_t tenant_count = config_.tenants.size();
+  const std::uint64_t universe = key_sizes_.size();
+  const std::size_t replication =
+      std::min(std::max<std::size_t>(config_.replication, 1), config_.num_servers);
+  const double rate = config_.service_bytes_per_us;
+  const double overhead = config_.per_op_overhead_us;
+
+  double share_sum = 0;
+  for (const workload::TenantSpec& tenant : config_.tenants) {
+    if (tenant.replay_path.empty()) share_sum += tenant.share;
+  }
+  DAS_CHECK_MSG(share_sum > 0, "rate derivation needs a synthetic tenant");
+
+  // Per-tenant mix (legacy write_fraction when the spec carries none) and
+  // written-value mean. A tenant without any write-size distribution keeps
+  // the key's existing size on writes, so its write demand is per-key.
+  const auto mix_of = [&](const workload::TenantSpec& tenant) {
+    workload::OpMix mix;
+    if (tenant.has_mix) {
+      mix = tenant.mix;
+    } else {
+      mix.read = 1.0 - config_.write_fraction;
+      mix.update = config_.write_fraction;
+      mix.rmw = 0.0;
+    }
+    return mix;
+  };
+  const auto write_mean_of = [&](std::size_t t, bool& has_dist) -> double {
+    if (!config_.tenants[t].value_size_spec.empty()) {
+      has_dist = true;
+      return tenant_value_dists_[t]->mean();
+    }
+    if (config_.write_size_bytes != nullptr) {
+      has_dist = true;
+      return config_.write_size_bytes->mean();
+    }
+    has_dist = false;
+    return 0.0;
+  };
+
+  double load_profile_mean = 1.0;
+  if (config_.load_profile != nullptr) {
+    const Duration step = kMillisecond;
+    double acc = 0;
+    std::size_t n = 0;
+    for (SimTime t = 0; t < window_.horizon(); t += step, ++n)
+      acc += config_.load_profile->value_at(t);
+    load_profile_mean = acc / static_cast<double>(n);
+    DAS_CHECK(load_profile_mean > 0);
+  }
+
+  if (config_.load_calibration == LoadCalibration::kAverageCapacity) {
+    double work_per_request = 0;
+    const auto replicas = static_cast<double>(replication);
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      const workload::TenantSpec& tenant = config_.tenants[t];
+      if (!tenant.replay_path.empty()) continue;
+      const double weight = tenant.share / share_sum;
+      const workload::OpMix mix = mix_of(tenant);
+      const double value_mean = tenant_value_dists_[t]->mean();
+      bool has_wdist = false;
+      const double write_mean_or = write_mean_of(t, has_wdist);
+      const double write_mean = has_wdist ? write_mean_or : value_mean;
+      const double read_work = tenant_generators_[t]->mean_fanout() *
+                               (overhead + value_mean / rate);
+      const double update_work = replicas * (overhead + write_mean / rate);
+      const double rmw_work =
+          replicas * (2.0 * overhead + (value_mean + write_mean) / rate);
+      work_per_request += weight * (mix.read * read_work +
+                                    mix.update * update_work +
+                                    mix.rmw * rmw_work);
+    }
+    return config_.target_load * config_.nominal_capacity(window_.horizon()) /
+           (work_per_request * load_profile_mean);
+  }
+
+  // Hottest-server calibration: expected demand share of server s PER
+  // REQUEST, summed over every synthetic tenant's popularity law over its
+  // slice. Reads follow the selection-aware share model (see the
+  // single-tenant branch); updates/RMWs land on the whole replica set.
+  std::vector<double> share(config_.num_servers, 0.0);
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    const workload::TenantSpec& tenant = config_.tenants[t];
+    if (!tenant.replay_path.empty()) continue;
+    const workload::MultigetGenerator& gen = *tenant_generators_[t];
+    const double weight = tenant.share / share_sum;
+    const workload::OpMix mix = mix_of(tenant);
+    bool has_wdist = false;
+    const double write_mean = write_mean_of(t, has_wdist);
+    const double read_scale = weight * mix.read * gen.mean_fanout();
+    const double write_frac = mix.update + mix.rmw;
+    const bool spread =
+        replication > 1 && select::load_share_model(config_.replica_selection) !=
+                               select::LoadShareModel::kAllOnPrimary;
+    const std::uint64_t slice = tenant_slice(universe, tenant_count, t).size;
+    for (std::uint64_t rank = 0; rank < slice; ++rank) {
+      const KeyId key = gen.key_for_rank(rank);
+      const double pmf = gen.rank_pmf(rank);
+      const double key_bytes = static_cast<double>(key_sizes_[key]);
+      const double read_demand = overhead + key_bytes / rate;
+      if (read_scale > 0) {
+        const double read_slice = read_scale * pmf * read_demand;
+        if (!spread) {
+          share[partitioner_->server_for(key)] += read_slice;
+        } else {
+          const auto reps = partitioner_->replicas_for(key, replication);
+          const double each = read_slice / static_cast<double>(reps.size());
+          for (const ServerId s : reps) share[s] += each;
+        }
+      }
+      if (write_frac > 0) {
+        const double new_bytes = has_wdist ? write_mean : key_bytes;
+        const double update_demand = overhead + new_bytes / rate;
+        const double rmw_demand =
+            2.0 * overhead + (key_bytes + new_bytes) / rate;
+        const double write_slice =
+            weight * pmf *
+            (mix.update * update_demand + mix.rmw * rmw_demand);
+        for (const ServerId s : partitioner_->replicas_for(key, replication)) {
+          share[s] += write_slice;
+        }
+      }
+    }
+  }
+  const auto profile_mean = [&](std::size_t s) -> double {
+    if (config_.speed_profiles.empty()) return 1.0;
+    const auto& profile = config_.speed_profiles.size() == 1
+                              ? config_.speed_profiles[0]
+                              : config_.speed_profiles[s];
+    if (profile == nullptr) return 1.0;
+    const Duration step = kMillisecond;
+    double acc = 0;
+    std::size_t n = 0;
+    for (SimTime t = 0; t < window_.horizon(); t += step, ++n)
+      acc += profile->value_at(t);
+    return n ? acc / static_cast<double>(n) : profile->value_at(0);
+  };
+  double hottest = 0;
+  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+    const double speed =
+        (config_.server_speed_factors.empty() ? 1.0 : config_.server_speed_factors[s]) *
+        profile_mean(s);
+    hottest = std::max(hottest, share[s] / speed);
+  }
+  DAS_CHECK(hottest > 0);
+  // `share` is per-request already (fanout folded in above), so the result
+  // needs no division by a mean fanout.
+  return config_.target_load / (hottest * load_profile_mean);
+}
+
+void Cluster::set_workload_recorder(workload::ReplayTrace* sink) {
+  for (auto& client : clients_) client->set_op_recorder(sink);
 }
 
 void Cluster::apply_fault(const fault::FaultEvent& event) {
@@ -362,6 +631,54 @@ ExperimentResult Cluster::run() {
   DAS_CHECK_MSG(result.requests_generated ==
                     result.requests_completed + result.requests_failed,
                 "request conservation violated");
+  if (!config_.tenants.empty()) {
+    const std::size_t tenant_count = config_.tenants.size();
+    result.tenants.resize(tenant_count);
+    std::uint64_t generated_sum = 0;
+    std::uint64_t completed_sum = 0;
+    std::uint64_t failed_sum = 0;
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      TenantOutcome& outcome = result.tenants[t];
+      outcome.name = config_.tenants[t].name;
+      outcome.share = config_.tenants[t].share;
+      for (const auto& client : clients_) {
+        outcome.requests_generated += client->tenant_requests_generated(t);
+        outcome.requests_completed += client->tenant_requests_completed(t);
+        outcome.requests_failed += client->tenant_requests_failed(t);
+      }
+      // The same conservation law must close PER TENANT: a request generated
+      // by tenant t completes or fails as tenant t, never as a neighbour.
+      DAS_CHECK_MSG(outcome.requests_generated ==
+                        outcome.requests_completed + outcome.requests_failed,
+                    "per-tenant request conservation violated");
+      outcome.rct = metrics_.tenant_rct(t).summary();
+      outcome.requests_measured = metrics_.tenant_rct(t).moments().count();
+      outcome.requests_failed_measured = metrics_.tenant_failed_measured(t);
+      generated_sum += outcome.requests_generated;
+      completed_sum += outcome.requests_completed;
+      failed_sum += outcome.requests_failed;
+    }
+    // And the tenant slices must partition the cluster totals exactly.
+    DAS_CHECK_MSG(generated_sum == result.requests_generated &&
+                      completed_sum == result.requests_completed &&
+                      failed_sum == result.requests_failed,
+                  "tenant counters do not sum to the cluster totals");
+    // Jain fairness over per-tenant mean RCT: 1.0 = all tenants see the same
+    // mean, 1/n = one tenant absorbs all the latency. Tenants with no
+    // measured requests are excluded; fewer than two leaves J = 1.
+    double sum = 0, sum_sq = 0;
+    std::size_t n = 0;
+    for (const TenantOutcome& outcome : result.tenants) {
+      if (outcome.requests_measured == 0) continue;
+      const double mean = outcome.rct.mean;
+      sum += mean;
+      sum_sq += mean * mean;
+      ++n;
+    }
+    result.jain_fairness =
+        n >= 2 && sum_sq > 0 ? (sum * sum) / (static_cast<double>(n) * sum_sq)
+                             : 1.0;
+  }
   double util_sum = 0;
   for (const auto& server : servers_) {
     result.ops_completed += server->ops_completed();

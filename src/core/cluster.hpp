@@ -14,6 +14,7 @@
 #include "sim/simulator.hpp"
 #include "store/partitioner.hpp"
 #include "workload/multiget.hpp"
+#include "workload/replay.hpp"
 
 namespace das::core {
 
@@ -50,6 +51,15 @@ class Cluster {
   std::size_t client_count() const { return clients_.size(); }
   const store::Partitioner& partitioner() const { return *partitioner_; }
   const std::vector<Bytes>& key_sizes() const { return key_sizes_; }
+  /// Tenant t's generator (nullptr for replay tenants); valid only when the
+  /// config declares tenants.
+  const workload::MultigetGenerator* tenant_generator(std::size_t t) const {
+    return tenant_generators_.at(t).get();
+  }
+  /// Records every generated operation into `sink` for later replay
+  /// (one record per read key, one per write); call before run(). nullptr
+  /// detaches. Purely observational.
+  void set_workload_recorder(workload::ReplayTrace* sink);
   /// Per-request RCT decomposition (aggregate always; rows when
   /// config.breakdown_retain_requests > 0).
   const trace::BreakdownCollector& breakdown() const { return breakdown_; }
@@ -57,6 +67,9 @@ class Cluster {
  private:
   /// Request arrival rate (requests/µs, all clients) per the calibration mode.
   double derived_request_rate() const;
+  /// Multi-tenant variant: share-weighted, mix-aware demand model across the
+  /// synthetic tenants (replay tenants pace themselves off their trace).
+  double derived_tenant_request_rate() const;
 
   /// Executes one scripted fault event (run() schedules one call per
   /// FaultPlan entry) and mirrors it into the trace as an instant event.
@@ -74,6 +87,12 @@ class Cluster {
   store::PartitionerPtr partitioner_;
   std::vector<Bytes> key_sizes_;
   std::unique_ptr<workload::MultigetGenerator> generator_;
+  /// Multi-tenant mode: one generator per tenant over its keyspace slice
+  /// (nullptr entries for replay tenants) plus the loaded traces and the
+  /// parsed per-tenant value-size distributions. All empty in legacy mode.
+  std::vector<std::unique_ptr<workload::MultigetGenerator>> tenant_generators_;
+  std::vector<workload::ReplayTrace> replay_traces_;
+  std::vector<RealDistPtr> tenant_value_dists_;
   Metrics metrics_;
   trace::Tracer* tracer_ = nullptr;
   trace::BreakdownCollector breakdown_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "common/check.hpp"
+#include "workload/spec.hpp"
 
 namespace das::core {
 
@@ -76,6 +78,61 @@ void ClusterConfig::validate() const {
   if (store_model == StoreModel::kLsm) {
     // Re-thrown with the LsmOptions field name in the message.
     lsm.validate();
+  }
+  if (!tenants.empty()) {
+    const std::uint64_t universe = num_servers * keys_per_server;
+    if (tenants.size() > universe) {
+      reject("tenants: more tenants than keys — every tenant needs a "
+             "non-empty keyspace slice");
+    }
+    bool any_synthetic = false;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      const workload::TenantSpec& tenant = tenants[t];
+      const std::string where = "tenants[" + std::to_string(t) + "] ('" +
+                                tenant.name + "')";
+      if (!(tenant.share > 0)) reject(where + ": share must be > 0");
+      if (tenant.replay_path.empty()) any_synthetic = true;
+      // Spec strings may come from code rather than the registry (which
+      // validates eagerly); parse them here so a typo fails before any
+      // simulation state exists. parse_* throw std::logic_error; translate.
+      try {
+        if (!tenant.fanout_spec.empty()) workload::parse_int_dist(tenant.fanout_spec);
+        if (!tenant.value_size_spec.empty())
+          workload::parse_real_dist(tenant.value_size_spec);
+      } catch (const std::logic_error& e) {
+        reject(where + ": " + e.what());
+      }
+      if (tenant.has_mix) {
+        const workload::OpMix& mix = tenant.mix;
+        const double sum = mix.read + mix.update + mix.rmw;
+        if (mix.read < 0 || mix.update < 0 || mix.rmw < 0 ||
+            sum < 1.0 - 1e-9 || sum > 1.0 + 1e-9) {
+          reject(where + ": mix fractions must be non-negative and sum to 1");
+        }
+      }
+      if (tenant.drift.rotate_period_us < 0) {
+        reject(where + ": drift rotate_period_us must be >= 0");
+      }
+      if (tenant.drift.rotate_period_us > 0 && tenant.drift.rotate_stride < 1) {
+        reject(where + ": drift rotate_stride must be >= 1");
+      }
+      for (const workload::StormWindow& storm : tenant.drift.storms) {
+        if (storm.end <= storm.start || storm.start < 0) {
+          reject(where + ": storm window must have 0 <= start < end");
+        }
+        if (storm.share < 0 || storm.share > 1) {
+          reject(where + ": storm share must be in [0, 1]");
+        }
+        if (storm.keys < 1) reject(where + ": storm keys must be >= 1");
+      }
+      if (!tenant.replay_path.empty() && tenant.drift.enabled()) {
+        reject(where + ": a replay tenant cannot also configure drift");
+      }
+    }
+    if (!any_synthetic && write_fraction > 0) {
+      reject("tenants: write_fraction is set but every tenant replays a "
+             "trace — replay operations come verbatim from the file");
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 #include "select/selector.hpp"
 #include "store/lsm_model.hpp"
 #include "workload/rate_function.hpp"
+#include "workload/registry.hpp"
 
 namespace das::core {
 
@@ -88,6 +89,13 @@ struct ClusterConfig {
   RealDistPtr write_size_bytes;
   /// Optional arrival-rate modulation (multiplier, mean should be ~1).
   workload::RatePtr load_profile;
+  /// Multi-tenant workload (workload registry): each tenant generates its
+  /// own stream (mix/popularity/drift/replay per its spec) against an equal
+  /// contiguous slice of the keyspace, with the cluster arrival rate split
+  /// by tenant share. Empty = single legacy stream (bit-identical to
+  /// pre-registry builds). Unset tenant fields inherit the cluster-level
+  /// workload settings above.
+  std::vector<workload::TenantSpec> tenants;
 
   // --- service model ------------------------------------------------------
   /// Fixed CPU cost per operation (µs at nominal speed).

@@ -11,7 +11,14 @@ void Metrics::enable_timeline(Duration bucket_us) {
   timeline_bucket_us_ = bucket_us;
 }
 
-void Metrics::record_request(SimTime arrival, SimTime completion, std::size_t fan) {
+void Metrics::enable_tenants(std::size_t count) {
+  DAS_CHECK(count >= 1);
+  tenant_rct_.assign(count, LatencyRecorder{1e9});
+  tenant_failures_measured_.assign(count, 0);
+}
+
+void Metrics::record_request(SimTime arrival, SimTime completion, std::size_t fan,
+                             std::uint32_t tenant) {
   DAS_CHECK(completion >= arrival);
   if (timeline_bucket_us_ > 0) {
     const auto bucket = static_cast<std::size_t>(completion / timeline_bucket_us_);
@@ -21,9 +28,14 @@ void Metrics::record_request(SimTime arrival, SimTime completion, std::size_t fa
   if (!in_window(arrival)) return;
   rct_.add(completion - arrival);
   fanout_.add(static_cast<double>(fan));
+  if (!tenant_rct_.empty()) {
+    DAS_CHECK(tenant < tenant_rct_.size());
+    tenant_rct_[tenant].add(completion - arrival);
+  }
 }
 
-void Metrics::record_request_failure(SimTime arrival, SimTime failed_at) {
+void Metrics::record_request_failure(SimTime arrival, SimTime failed_at,
+                                     std::uint32_t tenant) {
   DAS_CHECK(failed_at >= arrival);
   if (timeline_bucket_us_ > 0) {
     const auto bucket = static_cast<std::size_t>(failed_at / timeline_bucket_us_);
@@ -32,6 +44,10 @@ void Metrics::record_request_failure(SimTime arrival, SimTime failed_at) {
   }
   if (!in_window(arrival)) return;
   ++failures_measured_;
+  if (!tenant_failures_measured_.empty()) {
+    DAS_CHECK(tenant < tenant_failures_measured_.size());
+    ++tenant_failures_measured_[tenant];
+  }
 }
 
 std::vector<Metrics::TimelinePoint> Metrics::timeline() const {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -28,12 +29,19 @@ class Metrics {
   /// plotting adaptation transients. 0 disables.
   void enable_timeline(Duration bucket_us);
 
-  void record_request(SimTime arrival, SimTime completion, std::size_t fanout);
+  /// Additionally keeps a per-tenant RCT recorder and failure counter for
+  /// `count` tenants; record calls then attribute to their tenant index.
+  /// Never called (count 0) in single-tenant runs — zero overhead there.
+  void enable_tenants(std::size_t count);
+
+  void record_request(SimTime arrival, SimTime completion, std::size_t fanout,
+                      std::uint32_t tenant = 0);
   /// A request gave up (all retry budget spent on at least one op). Failed
   /// requests never enter the RCT population — mixing give-up times into a
   /// latency distribution would reward abandoning early — but they are
   /// counted, both in-window and on the degradation timeline.
-  void record_request_failure(SimTime arrival, SimTime failed_at);
+  void record_request_failure(SimTime arrival, SimTime failed_at,
+                              std::uint32_t tenant = 0);
   void record_operation(SimTime server_arrival, SimTime completion, Duration wait);
 
   const LatencyRecorder& rct() const { return rct_; }
@@ -43,6 +51,14 @@ class Metrics {
 
   std::uint64_t requests_measured() const { return rct_.moments().count(); }
   std::uint64_t requests_failed_measured() const { return failures_measured_; }
+
+  std::size_t tenant_count() const { return tenant_rct_.size(); }
+  const LatencyRecorder& tenant_rct(std::size_t t) const {
+    return tenant_rct_.at(t);
+  }
+  std::uint64_t tenant_failed_measured(std::size_t t) const {
+    return tenant_failures_measured_.at(t);
+  }
 
   /// One point per non-empty bucket: bucket start time, mean and p99 RCT
   /// (p99 from the log-bucketed histogram, so ±0.5% relative), completion
@@ -65,11 +81,30 @@ class Metrics {
   LatencyRecorder op_wait_{1e9};
   StreamingStats fanout_;
   std::uint64_t failures_measured_ = 0;
+  /// Per-tenant RCT recorders and in-window failure counts; empty unless
+  /// enable_tenants was called (multi-tenant runs only).
+  std::vector<LatencyRecorder> tenant_rct_;
+  std::vector<std::uint64_t> tenant_failures_measured_;
   Duration timeline_bucket_us_ = 0;
   std::vector<LatencyRecorder> timeline_buckets_;
   /// Failed-request count per timeline bucket (indexed like the latency
   /// buckets; grown on demand).
   std::vector<std::size_t> timeline_failed_;
+};
+
+/// One tenant's slice of a multi-tenant run. Accounting closes exactly:
+/// generated == completed + failed per tenant, and the per-field sums over
+/// tenants equal the cluster totals (both checked by Cluster::run).
+struct TenantOutcome {
+  std::string name;
+  /// Arrival-rate weight from the TenantSpec (as configured, unnormalised).
+  double share = 1.0;
+  std::uint64_t requests_generated = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_failed = 0;
+  std::uint64_t requests_measured = 0;
+  std::uint64_t requests_failed_measured = 0;
+  LatencySummary rct;  // this tenant's request completion time (µs)
 };
 
 /// What an experiment returns: the paper's reported quantities plus the
@@ -128,6 +163,12 @@ struct ExperimentResult {
   /// Mean RCT per completion-time bucket; empty unless the config enabled
   /// timeline collection.
   std::vector<Metrics::TimelinePoint> timeline;
+  /// Per-tenant outcomes; empty for single-tenant (legacy) runs.
+  std::vector<TenantOutcome> tenants;
+  /// Jain fairness index over the per-tenant mean RCTs, (0, 1]; 1.0 means
+  /// every tenant sees the same mean RCT (and for runs with < 2 measured
+  /// tenants, where fairness is vacuous).
+  double jain_fairness = 1.0;
   double sim_duration_us = 0;
   double wall_seconds = 0;
 };

@@ -1,0 +1,78 @@
+#include "workload/mix.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace das::workload {
+
+OpKind OpMix::sample(Rng& rng) const {
+  if (read_only()) return OpKind::kRead;
+  const double u = rng.next_double();
+  if (u < update) return OpKind::kUpdate;
+  if (u < update + rmw) return OpKind::kRmw;
+  return OpKind::kRead;
+}
+
+std::string OpMix::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "mix:%g:%g:%g", read, update, rmw);
+  return buf;
+}
+
+OpMix parse_mix(const std::string& spec) {
+  if (spec == "ycsb-a") return OpMix{0.5, 0.5, 0.0};
+  if (spec == "ycsb-b") return OpMix{0.95, 0.05, 0.0};
+  if (spec == "ycsb-c") return OpMix{1.0, 0.0, 0.0};
+  if (spec == "ycsb-f") return OpMix{0.5, 0.0, 0.5};
+  const std::string prefix = "mix:";
+  if (spec.rfind(prefix, 0) != 0) {
+    throw std::logic_error("unknown mix spec '" + spec +
+                           "'; expected ycsb-a|ycsb-b|ycsb-c|ycsb-f or "
+                           "mix:READ:UPDATE:RMW");
+  }
+  double fractions[3] = {0, 0, 0};
+  std::size_t at = prefix.size();
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t end = spec.find(':', at);
+    const bool last = (i == 2);
+    if ((last && end != std::string::npos) ||
+        (!last && end == std::string::npos)) {
+      throw std::logic_error("malformed mix spec '" + spec +
+                             "'; expected mix:READ:UPDATE:RMW");
+    }
+    const std::string field =
+        spec.substr(at, last ? std::string::npos : end - at);
+    if (field.empty()) {
+      throw std::logic_error("empty argument in mix spec '" + spec + "'");
+    }
+    if (field.find_first_of(" \t\n\r\f\v") != std::string::npos) {
+      throw std::logic_error("whitespace in argument '" + field +
+                             "' of mix spec '" + spec + "'");
+    }
+    try {
+      std::size_t pos = 0;
+      fractions[i] = std::stod(field, &pos);
+      DAS_CHECK(pos == field.size());
+    } catch (...) {
+      throw std::logic_error("bad number '" + field + "' in mix spec '" + spec +
+                             "'");
+    }
+    if (!std::isfinite(fractions[i]) || fractions[i] < 0.0 ||
+        fractions[i] > 1.0) {
+      throw std::logic_error("mix fraction '" + field + "' outside [0,1] in '" +
+                             spec + "'");
+    }
+    at = (end == std::string::npos) ? spec.size() : end + 1;
+  }
+  const double sum = fractions[0] + fractions[1] + fractions[2];
+  if (std::abs(sum - 1.0) > 1e-9) {
+    throw std::logic_error("mix fractions in '" + spec +
+                           "' must sum to 1, got " + std::to_string(sum));
+  }
+  return OpMix{fractions[0], fractions[1], fractions[2]};
+}
+
+}  // namespace das::workload

@@ -1,0 +1,107 @@
+// Workload registry: named, composable workload families behind one factory.
+//
+// A *tenant spec* is a '+'-joined list of family clauses, each of which
+// mutates one aspect of a TenantSpec:
+//
+//   ycsb-a | ycsb-b | ycsb-c | ycsb-f   named YCSB operation mixes
+//   mix:READ:UPDATE:RMW                 explicit operation mix
+//   zipf:THETA                          key-popularity skew
+//   fanout:<int dist spec>              multiget fan-out distribution
+//   size:<real dist spec>               value-size distribution
+//   share:WEIGHT                        arrival-rate weight (> 0)
+//   name:LABEL                          tenant label for metrics/JSON
+//   drift:PERIOD_US:STRIDE              rotate the rank->key mapping
+//   storm:START_US:END_US:KEYS:SHARE:SEED   append a hot-key storm window
+//   replay:PATH                         replay a .csv/.jsonl trace instead
+//                                       of synthesizing traffic
+//   legacy                              no-op: inherit all cluster defaults
+//
+// Example: "ycsb-b+zipf:1.1+share:3+name:heavy+drift:5000:37".
+// Unset aspects inherit the cluster-level configuration, so "legacy" (or the
+// empty registry) reproduces the pre-registry workload bit-for-bit.
+//
+// Multiple tenants share one cluster via a ';'-separated list of tenant
+// specs ("ycsb-c+share:1;ycsb-a+share:4"). Each tenant owns an equal
+// contiguous slice of the keyspace and an arrival-rate share proportional
+// to its weight.
+//
+// New families register through WorkloadFactory::register_workload (the
+// workload_factory pattern); parse errors throw std::logic_error naming the
+// clause and listing known families.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/mix.hpp"
+#include "workload/multiget.hpp"
+
+namespace das::workload {
+
+/// Everything one tenant needs to generate traffic. Unset fields (negative
+/// theta, empty spec strings) inherit the cluster-level defaults.
+struct TenantSpec {
+  /// Label used in per-tenant metrics and bench JSON; parse_tenants fills
+  /// "t<index>" when a spec does not name itself.
+  std::string name;
+  /// Arrival-rate weight; tenant i receives share_i / sum(shares) of the
+  /// cluster arrival rate.
+  double share = 1.0;
+  /// Key-popularity skew; < 0 inherits the cluster zipf_theta.
+  double zipf_theta = -1.0;
+  /// Multiget fan-out distribution spec; empty inherits the cluster fanout.
+  std::string fanout_spec;
+  /// Value-size distribution spec; empty inherits the cluster value size.
+  std::string value_size_spec;
+  /// Operation mix; has_mix=false inherits the cluster write_fraction
+  /// behaviour (reads + legacy write path).
+  bool has_mix = false;
+  OpMix mix{};
+  /// Popularity drift (rotation + storms); default stationary.
+  DriftOptions drift{};
+  /// Non-empty: replay this trace file instead of synthesizing traffic.
+  std::string replay_path;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Registry mapping family names to builders that apply one clause to a
+/// TenantSpec under construction.
+class WorkloadFactory {
+ public:
+  using Builder =
+      std::function<void(const std::vector<std::string>& args, TenantSpec& spec)>;
+
+  /// The process-wide factory, pre-loaded with the built-in families above.
+  static WorkloadFactory& instance();
+
+  /// Registers (or replaces) a family.
+  void register_workload(const std::string& family, Builder builder);
+
+  [[nodiscard]] bool has(const std::string& family) const;
+  /// Known family names, sorted (std::map order) for stable error messages.
+  [[nodiscard]] std::vector<std::string> known_families() const;
+
+  /// Parses one clause ("family[:arg...]") and applies it to `spec`.
+  void apply(const std::string& clause, TenantSpec& spec) const;
+
+  /// Parses a full '+'-joined tenant spec.
+  [[nodiscard]] TenantSpec parse_tenant(const std::string& spec) const;
+
+  /// Parses a ';'-separated multi-tenant spec; fills default names
+  /// ("t0", "t1", ...) for tenants that did not set one.
+  [[nodiscard]] std::vector<TenantSpec> parse_tenants(const std::string& spec) const;
+
+ private:
+  WorkloadFactory();
+  std::map<std::string, Builder> builders_;
+};
+
+/// Convenience wrappers over WorkloadFactory::instance().
+TenantSpec parse_tenant(const std::string& spec);
+std::vector<TenantSpec> parse_tenants(const std::string& spec);
+
+}  // namespace das::workload

@@ -1,5 +1,6 @@
 #include "workload/spec.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -14,19 +15,36 @@ std::vector<std::string> split(const std::string& spec) {
   std::istringstream is{spec};
   std::string part;
   while (std::getline(is, part, ':')) parts.push_back(part);
+  // getline drops a trailing empty field ("fixed:" splits to one part);
+  // reinstate it so arity checks see the dangling colon.
+  if (!spec.empty() && spec.back() == ':') parts.emplace_back();
   return parts;
 }
 
 double to_double(const std::string& spec, const std::string& field) {
+  if (field.empty()) {
+    throw std::logic_error("empty argument in distribution spec '" + spec + "'");
+  }
+  // std::stod skips leading whitespace and accepts "nan"/"inf"; a spec is a
+  // machine-written token, so both indicate a typo and must be rejected.
+  if (field.find_first_of(" \t\n\r\f\v") != std::string::npos) {
+    throw std::logic_error("whitespace in argument '" + field +
+                           "' of distribution spec '" + spec + "'");
+  }
+  double v = 0;
   try {
     std::size_t pos = 0;
-    const double v = std::stod(field, &pos);
+    v = std::stod(field, &pos);
     DAS_CHECK(pos == field.size());
-    return v;
   } catch (...) {
     throw std::logic_error("bad number '" + field + "' in distribution spec '" +
                            spec + "'");
   }
+  if (!std::isfinite(v)) {
+    throw std::logic_error("non-finite number '" + field +
+                           "' in distribution spec '" + spec + "'");
+  }
+  return v;
 }
 
 std::uint32_t to_u32(const std::string& spec, const std::string& field) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "workload/registry.hpp"
+#include "workload/replay.hpp"
 
 namespace das::core {
 namespace {
@@ -154,6 +156,93 @@ TEST(Cluster, LoadProfileModulatesArrivals) {
   const ExperimentResult r = run_experiment(cfg, small_window());
   EXPECT_EQ(r.requests_generated, r.requests_completed);
   EXPECT_GT(r.requests_measured, 0u);
+}
+
+TEST(Cluster, LegacyConfigHasNoTenantBreakdown) {
+  const ExperimentResult r = run_experiment(small_config(), small_window());
+  EXPECT_TRUE(r.tenants.empty());
+  EXPECT_DOUBLE_EQ(r.jain_fairness, 1.0);
+}
+
+TEST(ClusterTenants, AccountingClosesExactly) {
+  auto cfg = small_config();
+  cfg.tenants = workload::parse_tenants("ycsb-c;ycsb-b+share:2;ycsb-a+name:w");
+  const ExperimentResult r = run_experiment(cfg, small_window());
+  ASSERT_EQ(r.tenants.size(), 3u);
+  EXPECT_EQ(r.tenants[0].name, "t0");
+  EXPECT_EQ(r.tenants[1].name, "t1");
+  EXPECT_EQ(r.tenants[2].name, "w");
+  EXPECT_DOUBLE_EQ(r.tenants[1].share, 2.0);
+  std::uint64_t generated = 0, completed = 0, failed = 0, measured = 0;
+  for (const TenantOutcome& t : r.tenants) {
+    // Per-tenant conservation, exactly.
+    EXPECT_EQ(t.requests_generated, t.requests_completed + t.requests_failed)
+        << t.name;
+    EXPECT_GT(t.requests_measured, 0u) << t.name;
+    generated += t.requests_generated;
+    completed += t.requests_completed;
+    failed += t.requests_failed;
+    measured += t.requests_measured;
+  }
+  // Tenant rows partition the cluster totals, exactly.
+  EXPECT_EQ(generated, r.requests_generated);
+  EXPECT_EQ(completed, r.requests_completed);
+  EXPECT_EQ(failed, r.requests_failed);
+  EXPECT_EQ(measured, r.requests_measured);
+  EXPECT_GT(r.jain_fairness, 0.0);
+  EXPECT_LE(r.jain_fairness, 1.0);
+}
+
+TEST(ClusterTenants, SharesSplitTheArrivalRate) {
+  auto cfg = small_config();
+  cfg.tenants = workload::parse_tenants("ycsb-c+share:1;ycsb-c+share:3");
+  RunWindow w;
+  w.warmup_us = 5.0 * kMillisecond;
+  w.measure_us = 100.0 * kMillisecond;
+  const ExperimentResult r = run_experiment(cfg, w);
+  ASSERT_EQ(r.tenants.size(), 2u);
+  const double ratio = static_cast<double>(r.tenants[1].requests_generated) /
+                       static_cast<double>(r.tenants[0].requests_generated);
+  EXPECT_NEAR(ratio, 3.0, 0.35);
+}
+
+TEST(ClusterTenants, MultiTenantRunsAreBitIdentical) {
+  auto cfg = small_config();
+  cfg.tenants = workload::parse_tenants(
+      "ycsb-b+zipf:1.1+drift:5000:13+storm:8000:20000:4:0.6:7;ycsb-c");
+  const ExperimentResult a = run_experiment(cfg, small_window());
+  const ExperimentResult b = run_experiment(cfg, small_window());
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+    EXPECT_EQ(a.tenants[t].requests_generated, b.tenants[t].requests_generated);
+    EXPECT_DOUBLE_EQ(a.tenants[t].rct.mean, b.tenants[t].rct.mean);
+  }
+  EXPECT_DOUBLE_EQ(a.jain_fairness, b.jain_fairness);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+}
+
+TEST(ClusterTenants, RecordThenReplayPreservesOpCount) {
+  auto cfg = small_config();
+  cfg.tenants = workload::parse_tenants("ycsb-b+zipf:0.9");
+  workload::ReplayTrace recorded;
+  {
+    Cluster cluster{cfg, small_window()};
+    cluster.set_workload_recorder(&recorded);
+    cluster.run();
+  }
+  ASSERT_GT(recorded.size(), 0u);
+  const std::string path = ::testing::TempDir() + "cluster_replay.csv";
+  recorded.save(path);
+
+  auto replay_cfg = small_config();
+  replay_cfg.tenants = workload::parse_tenants("replay:" + path);
+  const ExperimentResult r = run_experiment(replay_cfg, small_window());
+  // The trace stores one record per operation; replay turns each into a
+  // single-op request, so op counts round-trip exactly.
+  EXPECT_EQ(r.ops_generated, recorded.size());
+  EXPECT_EQ(r.requests_generated, r.requests_completed);
+  ASSERT_EQ(r.tenants.size(), 1u);
+  EXPECT_EQ(r.tenants[0].requests_generated, recorded.size());
 }
 
 }  // namespace

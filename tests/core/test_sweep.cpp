@@ -173,8 +173,13 @@ void expect_wellformed_json(const std::string& json) {
   EXPECT_EQ(braces, 0);
   EXPECT_EQ(brackets, 0);
   EXPECT_FALSE(in_string);
-  EXPECT_EQ(json.find("nan"), std::string::npos);
-  EXPECT_EQ(json.find("inf"), std::string::npos);
+  // Non-finite doubles must be emitted as null. Match value positions
+  // (": nan", ": inf", "-nan") rather than any substring — the field name
+  // "tenants" legitimately contains "nan".
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+  EXPECT_EQ(json.find(": -nan"), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+  EXPECT_EQ(json.find(": -inf"), std::string::npos);
 }
 
 TEST(BenchJson, EmitsWellformedReproducibleJson) {
@@ -182,8 +187,10 @@ TEST(BenchJson, EmitsWellformedReproducibleJson) {
   const auto outcomes = runner.run(2);
   const std::string json = bench_json_string("sweep_test", outcomes);
   expect_wellformed_json(json);
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"experiment\": \"sweep_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"jain_fairness\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenants\": []"), std::string::npos);
   EXPECT_NE(json.find("\"storage\""), std::string::npos);
   EXPECT_NE(json.find("\"compaction_busy_us\""), std::string::npos);
   EXPECT_NE(json.find("\"degradation\""), std::string::npos);

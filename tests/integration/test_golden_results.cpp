@@ -26,6 +26,7 @@
 #include <cstdlib>
 
 #include "core/experiment.hpp"
+#include "workload/registry.hpp"
 
 namespace das::core {
 namespace {
@@ -188,6 +189,59 @@ TEST(GoldenResults, PinnedSelectionGridIsBitExact) {
     EXPECT_EQ(r.rct.mean, row.mean_rct_us);
     EXPECT_EQ(r.rct.p99, row.p99_us);
   }
+}
+
+// --- multi-tenant dimension -------------------------------------------------
+//
+// One pinned multi-tenant row: a drifting, storm-prone YCSB-B tenant next to
+// a read-only tenant with twice the arrival share, under DAS at load 0.8.
+// This pins the whole tenant pipeline — registry parsing, per-tenant
+// generators (drift rotation + storm hot sets), share-split arrivals and
+// per-tenant accounting — on top of the same golden cluster. The legacy
+// rows above MUST stay bit-identical; tenancy is opt-in and the legacy RNG
+// fork order does not change.
+
+struct TenantGoldenRow {
+  const char* name;
+  std::uint64_t requests_measured;
+  double mean_rct_us;
+};
+
+constexpr const char* kTenantGoldenSpec =
+    "ycsb-b+zipf:1.1+drift:4000:13+storm:6000:14000:4:0.6:7+name:bursty;"
+    "ycsb-c+share:2+name:steady";
+
+// Pinned by the first tenant-aware engine (regen as above).
+const TenantGoldenRow kTenantGolden[] = {
+    // clang-format off
+    {"bursty", 164u, 157.40095129006468},
+    {"steady", 324u, 201.15427001080627},
+    // clang-format on
+};
+const double kTenantGoldenJain = 0.98532795326169331;
+
+TEST(GoldenResults, PinnedTenantRowIsBitExact) {
+  ClusterConfig cfg = golden_config(sched::Policy::kDas, 0.8);
+  cfg.tenants = workload::parse_tenants(kTenantGoldenSpec);
+  const ExperimentResult r = run_experiment(cfg, golden_window());
+  ASSERT_EQ(r.tenants.size(), 2u);
+  if (std::getenv("DAS_REGEN_GOLDEN") != nullptr) {
+    for (const TenantOutcome& t : r.tenants) {
+      std::printf("    {\"%s\", %lluu, %.17g},\n", t.name.c_str(),
+                  static_cast<unsigned long long>(t.requests_measured),
+                  t.rct.mean);
+    }
+    std::printf("const double kTenantGoldenJain = %.17g;\n", r.jain_fairness);
+    GTEST_SKIP() << "DAS_REGEN_GOLDEN set: printed fresh rows, skipped the "
+                    "comparison";
+  }
+  for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+    SCOPED_TRACE(kTenantGolden[t].name);
+    EXPECT_EQ(r.tenants[t].name, kTenantGolden[t].name);
+    EXPECT_EQ(r.tenants[t].requests_measured, kTenantGolden[t].requests_measured);
+    EXPECT_EQ(r.tenants[t].rct.mean, kTenantGolden[t].mean_rct_us);
+  }
+  EXPECT_EQ(r.jain_fairness, kTenantGoldenJain);
 }
 
 TEST(GoldenResults, PinnedGridIsBitExact) {

@@ -1,0 +1,193 @@
+#include "workload/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace das::workload {
+namespace {
+
+TEST(Registry, SingleTenantComposesClauses) {
+  const TenantSpec t =
+      parse_tenant("ycsb-b+zipf:1.1+share:3+name:heavy+drift:5000:37");
+  EXPECT_EQ(t.name, "heavy");
+  EXPECT_DOUBLE_EQ(t.share, 3.0);
+  EXPECT_DOUBLE_EQ(t.zipf_theta, 1.1);
+  EXPECT_TRUE(t.has_mix);
+  EXPECT_DOUBLE_EQ(t.mix.read, 0.95);
+  EXPECT_DOUBLE_EQ(t.drift.rotate_period_us, 5000.0);
+  EXPECT_EQ(t.drift.rotate_stride, 37u);
+  EXPECT_TRUE(t.drift.enabled());
+  EXPECT_TRUE(t.replay_path.empty());
+}
+
+TEST(Registry, LegacyIsANoOp) {
+  const TenantSpec t = parse_tenant("legacy");
+  EXPECT_TRUE(t.name.empty());
+  EXPECT_DOUBLE_EQ(t.share, 1.0);
+  EXPECT_LT(t.zipf_theta, 0.0);  // inherit cluster theta
+  EXPECT_FALSE(t.has_mix);
+  EXPECT_TRUE(t.fanout_spec.empty());
+  EXPECT_TRUE(t.value_size_spec.empty());
+  EXPECT_FALSE(t.drift.enabled());
+}
+
+TEST(Registry, FanoutAndSizeKeepColonsInDistSpec) {
+  // The clause splitter must not eat the ':' inside the nested dist spec.
+  const TenantSpec t = parse_tenant("fanout:uniform:1:15+size:lognormal:385:1.5");
+  EXPECT_EQ(t.fanout_spec, "uniform:1:15");
+  EXPECT_EQ(t.value_size_spec, "lognormal:385:1.5");
+}
+
+TEST(Registry, StormClausesAccumulate) {
+  const TenantSpec t =
+      parse_tenant("storm:1000:2000:4:0.6:7+storm:5000:9000:2:0.3:9");
+  ASSERT_EQ(t.drift.storms.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.drift.storms[0].start, 1000.0);
+  EXPECT_DOUBLE_EQ(t.drift.storms[0].end, 2000.0);
+  EXPECT_EQ(t.drift.storms[0].keys, 4u);
+  EXPECT_DOUBLE_EQ(t.drift.storms[0].share, 0.6);
+  EXPECT_EQ(t.drift.storms[0].seed, 7u);
+  EXPECT_EQ(t.drift.storms[1].keys, 2u);
+  EXPECT_TRUE(t.drift.enabled());
+}
+
+TEST(Registry, MultiTenantFillsDefaultNames) {
+  const auto tenants = parse_tenants("ycsb-c;ycsb-a+name:writer;ycsb-b");
+  ASSERT_EQ(tenants.size(), 3u);
+  EXPECT_EQ(tenants[0].name, "t0");
+  EXPECT_EQ(tenants[1].name, "writer");
+  EXPECT_EQ(tenants[2].name, "t2");
+}
+
+TEST(Registry, ReplayTenantParses) {
+  const TenantSpec t = parse_tenant("replay:/tmp/trace.csv+share:2+name:cam");
+  EXPECT_EQ(t.replay_path, "/tmp/trace.csv");
+  EXPECT_DOUBLE_EQ(t.share, 2.0);
+  EXPECT_EQ(t.name, "cam");
+}
+
+TEST(Registry, DescribeRoundTripsTheInterestingFields) {
+  const std::string d =
+      parse_tenant("ycsb-a+zipf:1.2+name:hot+drift:5000:3").describe();
+  EXPECT_NE(d.find("hot"), std::string::npos);
+  EXPECT_NE(d.find("1.2"), std::string::npos);
+  EXPECT_NE(d.find("rotate=5000"), std::string::npos);
+}
+
+TEST(Registry, FactoryKnowsBuiltinsAndAcceptsNewFamilies) {
+  WorkloadFactory& factory = WorkloadFactory::instance();
+  for (const char* family : {"legacy", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-f",
+                             "mix", "zipf", "fanout", "size", "share", "name",
+                             "drift", "storm", "replay"}) {
+    EXPECT_TRUE(factory.has(family)) << family;
+  }
+  // workload_factory extension point: a new family composes like built-ins.
+  factory.register_workload(
+      "test-double-share",
+      [](const std::vector<std::string>& args, TenantSpec& spec) {
+        if (!args.empty()) {
+          throw std::logic_error("test-double-share takes no arguments");
+        }
+        spec.share *= 2;
+      });
+  EXPECT_TRUE(factory.has("test-double-share"));
+  EXPECT_DOUBLE_EQ(parse_tenant("share:3+test-double-share").share, 6.0);
+}
+
+// --- negative grammar ------------------------------------------------------
+
+void expect_message(const std::string& spec, const std::string& needle) {
+  try {
+    if (spec.find(';') != std::string::npos) {
+      (void)parse_tenants(spec);
+    } else {
+      (void)parse_tenant(spec);
+    }
+    ADD_FAILURE() << "accepted: '" << spec << "'";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << spec << " message: " << e.what();
+  }
+}
+
+TEST(RegistryNegative, UnknownFamilyListsKnownFamilies) {
+  try {
+    (void)parse_tenant("ycsb-z");
+    ADD_FAILURE() << "accepted ycsb-z";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown workload family 'ycsb-z'"), std::string::npos)
+        << msg;
+    // The message must enumerate the registry so a typo is self-correcting.
+    for (const char* family : {"ycsb-a", "zipf", "drift", "replay"}) {
+      EXPECT_NE(msg.find(family), std::string::npos) << family << ": " << msg;
+    }
+  }
+}
+
+TEST(RegistryNegative, EmptyAndMalformedSpecs) {
+  EXPECT_THROW(parse_tenant(""), std::logic_error);
+  EXPECT_THROW(parse_tenants(""), std::logic_error);
+  expect_message("ycsb-b+", "empty clause");
+  expect_message("+ycsb-b", "empty clause");
+  expect_message("ycsb-b;;ycsb-a", "empty tenant");
+  expect_message("ycsb-b;", "empty tenant");
+}
+
+TEST(RegistryNegative, ClauseArgumentValidation) {
+  // Wrong arity.
+  expect_message("ycsb-a:1", "takes no arguments");
+  expect_message("legacy:x", "takes no arguments");
+  expect_message("zipf", "zipf:THETA");
+  expect_message("zipf:1:2", "zipf:THETA");
+  expect_message("share", "share:WEIGHT");
+  expect_message("name", "name:LABEL");
+  expect_message("drift:5000", "drift:PERIOD_US:STRIDE");
+  expect_message("storm:1:2:3:0.5", "storm:START_US:END_US:KEYS:SHARE:SEED");
+  expect_message("mix:0.5:0.5", "mix:READ:UPDATE:RMW");
+  expect_message("fanout", "fanout:<int dist spec>");
+  expect_message("size", "size:<real dist spec>");
+  expect_message("replay", "replay:PATH");
+  // Bad numbers.
+  expect_message("zipf:abc", "bad theta 'abc'");
+  expect_message("zipf:", "empty theta");
+  expect_message("zipf:-0.5", "theta must be >= 0");
+  expect_message("share:0", "must be > 0");
+  expect_message("share:-1", "must be > 0");
+  expect_message("share:nan", "non-finite");
+  expect_message("name:", "empty label");
+  expect_message("drift:0:3", "period must be > 0");
+  expect_message("drift:5000:0", "stride must be a positive integer");
+  expect_message("drift:5000:1.5", "stride must be a positive integer");
+  // Storm window sanity.
+  expect_message("storm:2000:1000:4:0.5:7", "0 <= start < end");
+  expect_message("storm:1000:1000:4:0.5:7", "0 <= start < end");
+  expect_message("storm:1000:2000:0:0.5:7", "keys must be a positive integer");
+  expect_message("storm:1000:2000:4:1.5:7", "share must be in [0,1]");
+  expect_message("storm:1000:2000:4:0.5:-1", "seed must be a non-negative");
+  // Nested dist specs validate eagerly at parse time.
+  expect_message("fanout:weibull:1:2", "unknown int distribution family");
+  expect_message("size:constant:nan", "non-finite");
+}
+
+TEST(RegistryNegative, ReplayExcludesSyntheticClauses) {
+  for (const char* spec :
+       {"replay:/tmp/t.csv+ycsb-a", "replay:/tmp/t.csv+zipf:0.9",
+        "replay:/tmp/t.csv+fanout:fixed:8", "replay:/tmp/t.csv+drift:5000:3",
+        "ycsb-a+replay:/tmp/t.csv"}) {
+    expect_message(spec, "combines replay with synthetic clauses");
+  }
+  // share/name/size are still fine on a replay tenant.
+  EXPECT_NO_THROW(parse_tenant("replay:/tmp/t.jsonl+share:2+name:cam"));
+}
+
+TEST(RegistryNegative, DuplicateTenantNames) {
+  expect_message("ycsb-a+name:x;ycsb-b+name:x", "duplicate tenant name 'x'");
+  // A default-assigned name colliding with an explicit one is also a dup.
+  expect_message("ycsb-a;ycsb-b+name:t0", "duplicate tenant name 't0'");
+}
+
+}  // namespace
+}  // namespace das::workload

@@ -23,6 +23,7 @@
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "core/bench_json.hpp"
+#include "core/cluster.hpp"
 #include "core/experiment.hpp"
 #include "core/perf.hpp"
 #include "core/sweep.hpp"
@@ -30,6 +31,8 @@
 #include "select/selector.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/tracer.hpp"
+#include "workload/registry.hpp"
+#include "workload/replay.hpp"
 #include "workload/spec.hpp"
 
 namespace {
@@ -221,6 +224,22 @@ int main(int argc, char** argv) {
                "preempt-resume service (oracle upper bound)");
   flags.define("write-fraction", "0",
                "fraction of requests that are write-all PUTs");
+  flags.define("workload", "",
+               "workload-registry spec for a single tenant: '+'-joined "
+               "clauses (ycsb-a|b|c|f, mix:R:U:M, zipf:THETA, fanout:<dist>, "
+               "size:<dist>, drift:PERIOD_US:STRIDE, "
+               "storm:START:END:KEYS:SHARE:SEED, replay:PATH, name:LABEL, "
+               "share:W); unset clauses inherit the cluster flags");
+  flags.define("tenants", "",
+               "';'-separated list of --workload specs, one tenant each, "
+               "sharing the cluster (equal keyspace slices, arrival rate "
+               "split by share:W)");
+  flags.define("replay", "",
+               "replay a recorded trace file (shorthand for "
+               "--workload=replay:FILE)");
+  flags.define("record", "",
+               "record every generated operation as a replay trace (CSV or "
+               "JSONL by extension) to this path; single --policy, no --sweep");
   flags.define("store", "synthetic",
                "service-time model: 'synthetic' (client-computed demand) or "
                "'lsm' (memtable/flush/compaction storage engine)");
@@ -373,6 +392,36 @@ int main(int argc, char** argv) {
       cfg.server_speed_factors[i] = speed;
   }
 
+  // Workload registry: --replay is sugar for --workload=replay:FILE; a
+  // single --workload becomes a one-tenant list. Registry parse errors are
+  // usage errors.
+  try {
+    std::string workload_spec = flags.get_string("workload");
+    const std::string tenants_spec = flags.get_string("tenants");
+    const std::string replay_path = flags.get_string("replay");
+    if (!replay_path.empty()) {
+      if (!workload_spec.empty() || !tenants_spec.empty()) {
+        std::cerr << "--replay is shorthand for --workload=replay:FILE; give "
+                     "only one of --replay / --workload / --tenants\n";
+        return 2;
+      }
+      workload_spec = "replay:" + replay_path;
+    }
+    if (!workload_spec.empty() && !tenants_spec.empty()) {
+      std::cerr << "--workload and --tenants are mutually exclusive\n";
+      return 2;
+    }
+    if (!tenants_spec.empty()) {
+      cfg.tenants = workload::parse_tenants(tenants_spec);
+    } else if (!workload_spec.empty()) {
+      cfg.tenants = {workload::parse_tenant(workload_spec)};
+      if (cfg.tenants.front().name.empty()) cfg.tenants.front().name = "t0";
+    }
+  } catch (const std::logic_error& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
   core::RunWindow window;
   window.warmup_us = flags.get_double("warmup-ms") * kMillisecond;
   window.measure_us = flags.get_double("measure-ms") * kMillisecond;
@@ -415,10 +464,15 @@ int main(int argc, char** argv) {
   }
 
   const std::string trace_path = flags.get_string("trace");
+  const std::string record_path = flags.get_string("record");
 
   if (flags.get_bool("sweep")) {
     if (!trace_path.empty()) {
       std::cerr << "--trace is incompatible with --sweep\n";
+      return 2;
+    }
+    if (!record_path.empty()) {
+      std::cerr << "--record is incompatible with --sweep\n";
       return 2;
     }
     try {
@@ -447,6 +501,19 @@ int main(int argc, char** argv) {
     std::cerr << "trace: " << tracer.events().size() << " events retained, "
               << tracer.dropped() << " dropped (cap " << tracer.cap()
               << ") -> " << trace_path << "\n";
+  } else if (!record_path.empty()) {
+    if (policies.size() != 1) {
+      std::cerr << "--record requires exactly one --policy\n";
+      return 2;
+    }
+    cfg.policy = policies.front();
+    workload::ReplayTrace recorded;
+    core::Cluster cluster{cfg, window};
+    cluster.set_workload_recorder(&recorded);
+    runs.push_back({policies.front(), cluster.run()});
+    recorded.save(record_path);
+    std::cerr << "recorded " << recorded.size() << " ops -> " << record_path
+              << "\n";
   } else {
     runs = core::compare_policies(cfg, policies, window);
   }
@@ -474,6 +541,30 @@ int main(int argc, char** argv) {
     std::cout << "== RCT breakdown (component means, us) ==\n";
     table.print(std::cout);
   };
+
+  // Per-tenant accounting and fairness, shown whenever tenants are
+  // configured. The Jain index is a per-run scalar; it appears on the first
+  // tenant row of each policy.
+  const auto print_tenants = [&runs] {
+    Table table{{"policy", "tenant", "share", "generated", "completed",
+                 "failed", "measured", "mean RCT", "p99", "jain"}};
+    for (const auto& [policy, r] : runs) {
+      bool first_row = true;
+      for (const auto& t : r.tenants) {
+        table.add_row({sched::to_string(policy), t.name, Table::fmt(t.share, 2),
+                       std::to_string(t.requests_generated),
+                       std::to_string(t.requests_completed),
+                       std::to_string(t.requests_failed),
+                       std::to_string(t.requests_measured),
+                       Table::fmt(t.rct.mean, 1), Table::fmt(t.rct.p99, 1),
+                       first_row ? Table::fmt(r.jain_fairness, 4) : ""});
+        first_row = false;
+      }
+    }
+    std::cout << "== per-tenant RCT ==\n";
+    table.print(std::cout);
+  };
+  const bool have_tenants = !runs.empty() && !runs.front().result.tenants.empty();
 
   // Graceful-degradation accounting, shown whenever a fault plan ran.
   const auto print_degradation = [&runs] {
@@ -504,6 +595,7 @@ int main(int argc, char** argv) {
                 << ',' << r.net_messages << ',' << r.progress_messages << '\n';
     }
     if (flags.get_bool("breakdown")) print_breakdown();
+    if (have_tenants) print_tenants();
     if (!cfg.fault_plan.empty()) print_degradation();
     return 0;
   }
@@ -525,6 +617,7 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   if (flags.get_bool("breakdown")) print_breakdown();
+  if (have_tenants) print_tenants();
   if (!cfg.fault_plan.empty()) print_degradation();
   return 0;
 }
