@@ -150,6 +150,12 @@ double Collector::metric_value(const core::ExperimentResult& r,
     return static_cast<double>(r.requests_completed_after_failover);
   if (metric == "ops_failed_over") return static_cast<double>(r.ops_failed_over);
   if (metric == "jain") return r.jain_fairness;
+  if (metric == "goodput") return r.goodput_rps;
+  if (metric == "throughput") return r.throughput_rps;
+  if (metric == "requests_shed") return static_cast<double>(r.requests_shed);
+  if (metric == "requests_expired")
+    return static_cast<double>(r.requests_expired);
+  if (metric == "wasted_ms") return r.wasted_service_us / 1e3;
   DAS_CHECK_MSG(false, "unknown metric: " + metric);
   return 0;
 }

@@ -63,7 +63,10 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
   // all-zero under the synthetic model).
   // v5: added "jain_fairness" and the "tenants" array (per-tenant RCT and
   // accounting; empty for single-tenant runs).
-  os << "{\n  \"schema_version\": 5,\n  \"experiment\": ";
+  // v6: added the always-present "overload" block (goodput/throughput,
+  // shed/expired counters; all-zero with the layer off) and the per-tenant
+  // shed/expired/goodput_share fields.
+  os << "{\n  \"schema_version\": 6,\n  \"experiment\": ";
   json_string(os, experiment);
   os << ",\n  \"points\": [";
   bool first = true;
@@ -121,6 +124,23 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
     os << ",\n        \"messages_dropped_partition\": "
        << r.net_messages_dropped_partition;
     os << "\n      }";
+    os << ",\n      \"overload\": {\n        \"goodput_rps\": ";
+    json_double(os, r.goodput_rps);
+    os << ",\n        \"throughput_rps\": ";
+    json_double(os, r.throughput_rps);
+    os << ",\n        \"requests_shed\": " << r.requests_shed;
+    os << ",\n        \"requests_shed_admission\": "
+       << r.requests_shed_admission;
+    os << ",\n        \"requests_expired\": " << r.requests_expired;
+    os << ",\n        \"requests_shed_measured\": " << r.requests_shed_measured;
+    os << ",\n        \"requests_expired_measured\": "
+       << r.requests_expired_measured;
+    os << ",\n        \"ops_rejected_busy\": " << r.ops_rejected_busy;
+    os << ",\n        \"ops_shed_sojourn\": " << r.ops_shed_sojourn;
+    os << ",\n        \"ops_expired_dropped\": " << r.ops_expired_dropped;
+    os << ",\n        \"wasted_service_us\": ";
+    json_double(os, r.wasted_service_us);
+    os << "\n      }";
     os << ",\n      \"storage\": {\n        \"flushes\": " << r.store_flushes;
     os << ",\n        \"compactions\": " << r.store_compactions;
     os << ",\n        \"write_stalls\": " << r.store_write_stalls;
@@ -148,6 +168,12 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
       os << ",\n          \"requests_measured\": " << tenant.requests_measured;
       os << ",\n          \"requests_failed_measured\": "
          << tenant.requests_failed_measured;
+      os << ",\n          \"requests_shed\": " << tenant.requests_shed;
+      os << ",\n          \"requests_expired\": " << tenant.requests_expired;
+      os << ",\n          \"requests_shed_measured\": "
+         << tenant.requests_shed_measured;
+      os << ",\n          \"requests_expired_measured\": "
+         << tenant.requests_expired_measured;
       const auto tenant_field = [&](const char* name, double v) {
         os << ",\n          \"" << name << "\": ";
         json_double(os, v);
@@ -158,6 +184,7 @@ void render_bench_json(std::ostream& os, const std::string& experiment,
       tenant_field("p99_us", tenant.rct.p99);
       tenant_field("p999_us", tenant.rct.p999);
       tenant_field("max_us", tenant.rct.max);
+      tenant_field("goodput_share", tenant.goodput_share);
       os << "\n        }";
     }
     os << (first_tenant ? "]" : "\n      ]");

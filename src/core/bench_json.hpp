@@ -2,10 +2,10 @@
 //
 // Every bench (and dassim --sweep) can persist its sweep as
 // BENCH_<experiment>.json so the perf trajectory is machine-readable instead
-// of living only in printed tables. Schema (schema_version 5):
+// of living only in printed tables. Schema (schema_version 6):
 //
 //   {
-//     "schema_version": 5,
+//     "schema_version": 6,
 //     "experiment": "E1_load_mean",
 //     "points": [
 //       {
@@ -30,6 +30,15 @@
 //           "server_crashes": ..., "server_recoveries": ...,
 //           "messages_dropped_partition": ...
 //         },
+//         "overload": {              // overload-layer accounting; all zeros
+//           "goodput_rps": ...,      // (and goodput == throughput) with the
+//           "throughput_rps": ...,   // layer off
+//           "requests_shed": ..., "requests_shed_admission": ...,
+//           "requests_expired": ..., "requests_shed_measured": ...,
+//           "requests_expired_measured": ..., "ops_rejected_busy": ...,
+//           "ops_shed_sojourn": ..., "ops_expired_dropped": ...,
+//           "wasted_service_us": ...
+//         },
 //         "storage": { ... },        // store-model counters (all zero when
 //                                    // the synthetic model prices service)
 //         "jain_fairness": ...,      // 1.0 for single-tenant runs
@@ -39,8 +48,11 @@
 //             "requests_generated": ..., "requests_completed": ...,
 //             "requests_failed": ..., "requests_measured": ...,
 //             "requests_failed_measured": ...,
+//             "requests_shed": ..., "requests_expired": ...,
+//             "requests_shed_measured": ..., "requests_expired_measured": ...,
 //             "mean_rct_us": ..., "p50_us": ..., "p95_us": ...,
-//             "p99_us": ..., "p999_us": ..., "max_us": ...
+//             "p99_us": ..., "p999_us": ..., "max_us": ...,
+//             "goodput_share": ...
 //           }, ...
 //         ],
 //         "gain_vs_fcfs_pct": ...,   // null when the point has no FCFS row
@@ -49,8 +61,10 @@
 //     ]
 //   }
 //
-// schema_version history: 5 added "jain_fairness" and the per-tenant
-// "tenants" array (workload registry / multi-tenancy); 4 added the
+// schema_version history: 6 added the always-present "overload" object
+// (goodput/throughput, shed/expired accounting) and the per-tenant
+// shed/expired/goodput_share fields; 5 added "jain_fairness" and the
+// per-tenant "tenants" array (workload registry / multi-tenancy); 4 added the
 // always-present "storage" object (store-model counters); 3 added the
 // per-point "degradation" object (fault plans, failover and
 // graceful-degradation accounting); 2 added the mechanism counters and the

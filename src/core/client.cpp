@@ -40,7 +40,10 @@ Client::Client(sim::Simulator& sim, Params params, Rng rng,
       // untouched: runs without retries stay bit-identical to older builds.
       // Seeded in the init list — retry_rng_ is never default-constructed
       // (das-rng-discipline).
-      retry_rng_(Rng{rng_}.fork(0xBAC0FFull + params_.id)) {
+      retry_rng_(Rng{rng_}.fork(0xBAC0FFull + params_.id)),
+      // Admission coin flips get their own stream for the same reason: a run
+      // with admission off draws nothing from it and stays bit-identical.
+      admission_rng_(Rng{rng_}.fork(0xADC0DEull + params_.id)) {
   DAS_CHECK(params_.num_servers >= 1);
   DAS_CHECK(params_.num_clients >= 1);
   DAS_CHECK(!tenants_.empty());
@@ -66,6 +69,15 @@ Client::Client(sim::Simulator& sim, Params params, Rng rng,
   tenant_generated_.assign(tenants_.size(), 0);
   tenant_completed_.assign(tenants_.size(), 0);
   tenant_failed_.assign(tenants_.size(), 0);
+  tenant_shed_.assign(tenants_.size(), 0);
+  tenant_expired_.assign(tenants_.size(), 0);
+  if (params_.overload.admission) {
+    admission_ = std::make_unique<overload::AdmissionController>(
+        tenants_.size(),
+        overload::AdmissionController::Params{params_.overload.admission_floor,
+                                              params_.overload.admission_increase,
+                                              params_.overload.admission_decrease});
+  }
   d_est_.assign(params_.num_servers, 0.0);
   mu_est_.assign(params_.num_servers, 1.0);
   selector_ = select::make_selector(params_.replica_selection);
@@ -255,9 +267,30 @@ void Client::dispatch_plan(std::size_t tenant, const std::vector<PlannedOp>& pla
   const RequestId rid =
       (static_cast<RequestId>(params_.id) << 48) | next_request_seq_++;
 
+  // Admission gate, AFTER the plan is built: the tenant's workload stream
+  // draws identically whether or not the request is admitted, so throttling
+  // never desynchronises the generated traffic across configs.
+  if (admission_ != nullptr && !admission_->admit(tenant, admission_rng_)) {
+    metrics_.record_request_shed(now, now, static_cast<std::uint32_t>(tenant));
+    if (tracer_ != nullptr) {
+      tracer_->request_shed(now, rid, params_.id, /*age_us=*/0.0,
+                            /*at_admission=*/true);
+    }
+    ++requests_shed_;
+    ++requests_shed_admission_;
+    ++tenant_shed_[tenant];
+    ++requests_generated_;
+    ++tenant_generated_[tenant];
+    return;
+  }
+
   PendingRequest pending;
   pending.arrival = now;
   pending.tenant = static_cast<std::uint32_t>(tenant);
+  if (params_.overload.deadlines()) {
+    pending.expiry = now + params_.overload.deadline_budget_us;
+  }
+  const SimTime expiry = pending.expiry;
   pending.ops.reserve(plan.size());
 
   // Per-server aggregates: (op count, demand sum) for the Rein bottleneck
@@ -330,6 +363,7 @@ void Client::dispatch_plan(std::size_t tenant, const std::vector<PlannedOp>& pla
     ctx.bottleneck_demand_us = bottleneck_demand;
     ctx.total_demand_us = total_demand;
     ctx.deadline = now + params_.edf_slo_us;
+    ctx.expiry = expiry;
     ctx.is_write = op.sent_ctx.is_write;
     ctx.write_size = op.sent_ctx.write_size;
     op_to_request_.emplace(op.op_id, rid);
@@ -351,8 +385,42 @@ void Client::dispatch_plan(std::size_t tenant, const std::vector<PlannedOp>& pla
       arm_hedge(rid, op);
     }
   }
+  if (params_.overload.deadlines()) {
+    // The deadline is enforced client-side by a timer, not by waiting for
+    // servers to report expiry: a request stuck behind a dead or saturated
+    // server fails at exactly arrival + budget no matter what.
+    it->second.deadline_timer =
+        sim_.schedule_at(expiry, [this, rid] { expire_request(rid); });
+  }
   ++requests_generated_;
   ++tenant_generated_[tenant];
+}
+
+void Client::expire_request(RequestId rid) {
+  const auto req_it = pending_.find(rid);
+  // The timer is cancelled whenever the request settles first; a find miss
+  // can only mean a stale timer raced settlement in the same instant.
+  if (req_it == pending_.end()) return;
+  PendingRequest& req = req_it->second;
+  const SimTime now = sim_.now();
+  // Tear down every op still in flight. A response (including a server-side
+  // kExpired shed, which by time ordering always arrives after this timer)
+  // lands in the unknown-op path and discards as a duplicate.
+  for (PendingOp& op : req.ops) {
+    if (op.done) continue;
+    op.done = true;
+    sim_.cancel(op.retry_timer);
+    sim_.cancel(op.hedge_timer);
+    op_to_request_.erase(op.op_id);
+  }
+  if (admission_ != nullptr) admission_->on_overload(req.tenant);
+  metrics_.record_request_expired(req.arrival, now, req.tenant);
+  if (tracer_ != nullptr) {
+    tracer_->request_expired(now, rid, params_.id, now - req.arrival);
+  }
+  ++tenant_expired_[req.tenant];
+  ++requests_expired_;
+  pending_.erase(req_it);
 }
 
 void Client::arm_hedge(RequestId rid, PendingOp& op) {
@@ -450,7 +518,9 @@ void Client::maybe_fail_over(PendingRequest& req, PendingOp& op) {
 void Client::abandon_op(RequestId rid, PendingOp& op) {
   // The retry budget is spent: declare the op failed so the request leaves
   // the books as FAILED rather than hanging in flight forever. A straggler
-  // response arriving later is discarded as a duplicate.
+  // response arriving later is discarded as a duplicate. If the server's
+  // last word on this op was BUSY, the exhaustion is the overload layer's
+  // doing and the op counts as shed instead.
   op.done = true;
   sim_.cancel(op.hedge_timer);
   op_to_request_.erase(op.op_id);
@@ -458,19 +528,80 @@ void Client::abandon_op(RequestId rid, PendingOp& op) {
   const auto req_it = pending_.find(rid);
   DAS_CHECK(req_it != pending_.end());
   PendingRequest& req = req_it->second;
-  ++req.failed_ops;
+  if (op.busy_rejected) {
+    ++req.shed_ops;
+  } else {
+    ++req.failed_ops;
+  }
   DAS_CHECK(req.remaining > 0);
   --req.remaining;
-  if (req.remaining == 0) {
-    const SimTime now = sim_.now();
+  if (req.remaining == 0) finalize_degraded(rid);
+}
+
+void Client::shed_op(RequestId rid, PendingOp& op) {
+  // BUSY with no retry machinery to lean on: the op is terminally shed.
+  op.done = true;
+  sim_.cancel(op.retry_timer);
+  sim_.cancel(op.hedge_timer);
+  op_to_request_.erase(op.op_id);
+  const auto req_it = pending_.find(rid);
+  DAS_CHECK(req_it != pending_.end());
+  PendingRequest& req = req_it->second;
+  ++req.shed_ops;
+  DAS_CHECK(req.remaining > 0);
+  --req.remaining;
+  if (req.remaining == 0) finalize_degraded(rid);
+}
+
+void Client::finalize_degraded(RequestId rid) {
+  const auto req_it = pending_.find(rid);
+  DAS_CHECK(req_it != pending_.end());
+  PendingRequest& req = req_it->second;
+  DAS_CHECK(req.remaining == 0);
+  DAS_CHECK(req.shed_ops > 0 || req.failed_ops > 0);
+  const SimTime now = sim_.now();
+  sim_.cancel(req.deadline_timer);
+  if (req.shed_ops > 0) {
+    // Shed outranks failed: an overload rejection is load the system chose
+    // to turn away, not a fault — the distinction is what E22 measures.
+    metrics_.record_request_shed(req.arrival, now, req.tenant);
+    if (tracer_ != nullptr) {
+      tracer_->request_shed(now, rid, params_.id, now - req.arrival,
+                            /*at_admission=*/false);
+    }
+    ++tenant_shed_[req.tenant];
+    ++requests_shed_;
+  } else {
     metrics_.record_request_failure(req.arrival, now, req.tenant);
     if (tracer_ != nullptr) {
       tracer_->request_complete(now, rid, params_.id, now - req.arrival);
     }
     ++tenant_failed_[req.tenant];
-    pending_.erase(req_it);
     ++requests_failed_;
   }
+  pending_.erase(req_it);
+}
+
+void Client::on_shed_response(const OpResponse& resp, RequestId rid) {
+  const auto req_it = pending_.find(rid);
+  DAS_CHECK_MSG(req_it != pending_.end(), "shed response for settled request");
+  PendingRequest& req = req_it->second;
+  const auto pop =
+      std::find_if(req.ops.begin(), req.ops.end(),
+                   [&](const PendingOp& op) { return op.op_id == resp.op_id; });
+  DAS_CHECK(pop != req.ops.end());
+  DAS_CHECK_MSG(!pop->done, "shed response for settled op");
+  // Every BUSY is an overload signal for the AIMD throttle, whether or not
+  // the op survives via retry.
+  if (admission_ != nullptr) admission_->on_overload(req.tenant);
+  if (params_.retry_timeout_us > 0) {
+    // The retry timer armed at send is still running: the retransmission
+    // path (backoff, jitter, failover, give-up budget) handles the redo.
+    // The explicit BUSY just told us sooner than silence would have.
+    pop->busy_rejected = true;
+    return;
+  }
+  shed_op(rid, *pop);
 }
 
 void Client::on_response(const OpResponse& resp) {
@@ -484,22 +615,34 @@ void Client::on_response(const OpResponse& resp) {
   const auto op_it = op_to_request_.find(resp.op_id);
   if (op_it == op_to_request_.end()) {
     // With retransmission or hedging enabled, a second copy of a served op
-    // yields a duplicate response; discard it. Otherwise it is a protocol
-    // bug. The duplicate stays a pure liveness signal: the EWMA update below
-    // must NOT run, or each redundant answer double-applies the same
-    // piggyback and skews the learned view.
-    DAS_CHECK_MSG(params_.retry_timeout_us > 0 || params_.hedge_delay_us > 0,
+    // yields a duplicate response; with the overload layer on, a server-side
+    // shed of an already-settled request lands here too (a kExpired shed
+    // ALWAYS does: the client's own deadline timer fires strictly first).
+    // Otherwise it is a protocol bug. The duplicate stays a pure liveness
+    // signal: the EWMA update below must NOT run, or each redundant answer
+    // double-applies the same piggyback and skews the learned view.
+    DAS_CHECK_MSG(params_.retry_timeout_us > 0 || params_.hedge_delay_us > 0 ||
+                      params_.overload.enabled(),
                   "response for unknown op");
     ++duplicate_responses_;
     return;
   }
   if (params_.adaptive) {
+    // Applies to BUSY responses too: the piggybacked d_hat/mu_hat are real —
+    // explicit rejection feeding the learned view is what steers subsequent
+    // picks away from the saturated server.
     d_est_[resp.server] +=
         params_.ewma_alpha * (resp.d_hat_us - d_est_[resp.server]);
     mu_est_[resp.server] +=
         params_.ewma_alpha * (resp.mu_hat - mu_est_[resp.server]);
   }
   const RequestId rid = op_it->second;
+  if (resp.status != OpStatus::kOk) {
+    // The op was shed server-side; it is still pending (the mapping stays
+    // while the retry path may yet rescue it).
+    on_shed_response(resp, rid);
+    return;
+  }
   op_to_request_.erase(op_it);
 
   const auto req_it = pending_.find(rid);
@@ -522,19 +665,15 @@ void Client::on_response(const OpResponse& resp) {
   }
 
   if (req.remaining == 0) {
-    if (req.failed_ops > 0) {
-      // A sibling op was abandoned earlier: the request is failed as a
-      // whole even though this last op did get served. Its latency must not
-      // enter the RCT population.
-      metrics_.record_request_failure(req.arrival, now, req.tenant);
-      if (tracer_ != nullptr) {
-        tracer_->request_complete(now, rid, params_.id, now - req.arrival);
-      }
-      ++tenant_failed_[req.tenant];
-      pending_.erase(req_it);
-      ++requests_failed_;
+    if (req.shed_ops > 0 || req.failed_ops > 0) {
+      // A sibling op was shed or abandoned earlier: the request is degraded
+      // as a whole even though this last op did get served. Its latency must
+      // not enter the RCT population.
+      finalize_degraded(rid);
       return;
     }
+    sim_.cancel(req.deadline_timer);
+    if (admission_ != nullptr) admission_->on_success(req.tenant);
     metrics_.record_request(req.arrival, now, req.ops.size(), req.tenant);
     if (req.failed_over) ++requests_completed_failover_;
     if (tracer_ != nullptr) {

@@ -87,6 +87,9 @@ class Client {
     double write_fraction = 0;
     /// Sizes of written values; nullptr falls back to existing key size.
     RealDistPtr write_size_bytes;
+    /// Overload protection (deadlines, admission control, BUSY handling).
+    /// All defaults off: the client is bit-identical to pre-layer builds.
+    overload::OverloadConfig overload;
   };
 
   /// One tenant's traffic source as seen by this client. A synthetic tenant
@@ -136,7 +139,19 @@ class Client {
   std::uint64_t requests_generated() const { return requests_generated_; }
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t requests_failed() const { return requests_failed_; }
-  /// Per-tenant slices of the three counters above; the sums over tenants
+  /// Requests shed by the overload layer (admission refusal or BUSY).
+  std::uint64_t requests_shed() const { return requests_shed_; }
+  /// Subset of requests_shed() refused at admission (no op ever sent).
+  std::uint64_t requests_shed_admission() const {
+    return requests_shed_admission_;
+  }
+  /// Requests whose end-to-end deadline passed before the last response.
+  std::uint64_t requests_expired() const { return requests_expired_; }
+  /// Current AIMD admit probability for tenant `t` (1.0 with admission off).
+  double admission_rate(std::size_t t) const {
+    return admission_ != nullptr ? admission_->rate(t) : 1.0;
+  }
+  /// Per-tenant slices of the outcome counters above; the sums over tenants
   /// equal the totals exactly (checked by Cluster::run).
   std::uint64_t tenant_requests_generated(std::size_t t) const {
     return tenant_generated_.at(t);
@@ -146,6 +161,12 @@ class Client {
   }
   std::uint64_t tenant_requests_failed(std::size_t t) const {
     return tenant_failed_.at(t);
+  }
+  std::uint64_t tenant_requests_shed(std::size_t t) const {
+    return tenant_shed_.at(t);
+  }
+  std::uint64_t tenant_requests_expired(std::size_t t) const {
+    return tenant_expired_.at(t);
   }
   std::size_t tenant_count() const { return tenants_.size(); }
   std::uint64_t requests_completed_after_failover() const {
@@ -192,6 +213,9 @@ class Client {
     bool hedged = false;
     /// When the (first) response was delivered; feeds straggler slack.
     SimTime delivered_at = 0;
+    /// The server answered BUSY at least once (overload layer). Re-attributes
+    /// a later retry-budget exhaustion to shed instead of failed.
+    bool busy_rejected = false;
     /// Server-side timing echo from that response.
     trace::OpServiceTiming timing;
   };
@@ -208,6 +232,15 @@ class Client {
     /// Ops abandoned after exhausting the retry budget; > 0 makes the whole
     /// request count as failed instead of completed.
     std::size_t failed_ops = 0;
+    /// Ops terminally shed by the overload layer (BUSY with no retry budget
+    /// left, or BUSY with retries disabled); > 0 marks the request SHED,
+    /// taking precedence over failed.
+    std::size_t shed_ops = 0;
+    /// Absolute end-to-end deadline (arrival + budget); kTimeInfinity when
+    /// deadlines are off. Carried on every op's wire context.
+    SimTime expiry = kTimeInfinity;
+    /// Fires expire_request at `expiry`; cancelled on any earlier settle.
+    sim::EventHandle deadline_timer;
   };
 
   /// What one planned operation looks like before tagging/sending.
@@ -271,6 +304,11 @@ class Client {
   /// construction so the workload draws stay bit-identical to jitter-free
   /// builds; only armed retries consume from it.
   Rng retry_rng_;
+  /// Admission coin flips, forked off a COPY of the client RNG likewise;
+  /// only drawn when admission control is on (exactly once per request).
+  Rng admission_rng_;
+  /// Per-tenant AIMD admission throttle; nullptr when admission is off.
+  std::unique_ptr<overload::AdmissionController> admission_;
   /// Workload streams for tenants 1..N-1, each forked off a COPY of the
   /// client RNG with a tenant-distinct tag. Tenant 0 uses rng_ directly so a
   /// single-tenant run draws exactly like a pre-tenant build.
@@ -285,10 +323,15 @@ class Client {
   std::uint64_t requests_generated_ = 0;
   std::uint64_t requests_completed_ = 0;
   std::uint64_t requests_failed_ = 0;
+  std::uint64_t requests_shed_ = 0;
+  std::uint64_t requests_shed_admission_ = 0;
+  std::uint64_t requests_expired_ = 0;
   /// Per-tenant slices of the request counters (always sized tenant_count()).
   std::vector<std::uint64_t> tenant_generated_;
   std::vector<std::uint64_t> tenant_completed_;
   std::vector<std::uint64_t> tenant_failed_;
+  std::vector<std::uint64_t> tenant_shed_;
+  std::vector<std::uint64_t> tenant_expired_;
   std::uint64_t requests_completed_failover_ = 0;
   std::uint64_t ops_generated_ = 0;
   std::uint64_t progress_sent_ = 0;
@@ -307,9 +350,20 @@ class Client {
   void note_rto(ServerId server);
   /// Redirects a read retry to the best unsuspected replica, if any.
   void maybe_fail_over(PendingRequest& req, PendingOp& op);
-  /// Retry budget exhausted: the op is declared failed; finalizes the
-  /// request as failed once no op remains in flight.
+  /// Retry budget exhausted: the op is declared failed (or shed, if its last
+  /// word from the server was BUSY); finalizes once no op remains in flight.
   void abandon_op(RequestId rid, PendingOp& op);
+  /// A BUSY response arrived for a pending op: feed the admission throttle
+  /// and either lean on the armed retry timer or shed the op terminally.
+  void on_shed_response(const OpResponse& resp, RequestId rid);
+  /// Terminally sheds one op (mirrors abandon_op with shed attribution).
+  void shed_op(RequestId rid, PendingOp& op);
+  /// remaining == 0 with shed_ops or failed_ops: settles the request as
+  /// SHED (precedence) or FAILED and erases it.
+  void finalize_degraded(RequestId rid);
+  /// Deadline timer callback: fails the whole request as EXPIRED, tearing
+  /// down every in-flight op (late responses discard as duplicates).
+  void expire_request(RequestId rid);
 };
 
 }  // namespace das::core

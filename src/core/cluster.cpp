@@ -125,6 +125,7 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
     params.speed_alpha = config_.server_speed_alpha;
     params.preemptive = config_.preemptive_service;
     params.log_structured_storage = config_.log_structured_storage;
+    params.overload = config_.overload;
     if (config_.store_model == StoreModel::kLsm) {
       store::LsmOptions lsm_opt = config_.lsm;
       // Costs are expressed in the same currency as the synthetic demand
@@ -251,6 +252,7 @@ Cluster::Cluster(ClusterConfig config, RunWindow window, trace::Tracer* tracer)
     params.write_fraction = config_.write_fraction;
     params.write_size_bytes = config_.write_size_bytes ? config_.write_size_bytes
                                                        : config_.value_size_bytes;
+    params.overload = config_.overload;
 
     auto send_op = [this](ServerId server, const sched::OpContext& ctx) {
       net_->send(client_node(ctx.client), server_node(server),
@@ -615,6 +617,9 @@ ExperimentResult Cluster::run() {
     result.requests_generated += client->requests_generated();
     result.requests_completed += client->requests_completed();
     result.requests_failed += client->requests_failed();
+    result.requests_shed += client->requests_shed();
+    result.requests_shed_admission += client->requests_shed_admission();
+    result.requests_expired += client->requests_expired();
     result.requests_completed_after_failover +=
         client->requests_completed_after_failover();
     result.ops_generated += client->ops_generated();
@@ -627,9 +632,11 @@ ExperimentResult Cluster::run() {
     DAS_CHECK_MSG(client->in_flight() == 0, "request leaked past drain");
   }
   // Graceful degradation, not silent loss: every generated request is either
-  // completed or explicitly accounted as failed.
+  // completed or explicitly accounted as failed, shed (overload rejection)
+  // or expired (end-to-end deadline).
   DAS_CHECK_MSG(result.requests_generated ==
-                    result.requests_completed + result.requests_failed,
+                    result.requests_completed + result.requests_failed +
+                        result.requests_shed + result.requests_expired,
                 "request conservation violated");
   if (!config_.tenants.empty()) {
     const std::size_t tenant_count = config_.tenants.size();
@@ -637,6 +644,8 @@ ExperimentResult Cluster::run() {
     std::uint64_t generated_sum = 0;
     std::uint64_t completed_sum = 0;
     std::uint64_t failed_sum = 0;
+    std::uint64_t shed_sum = 0;
+    std::uint64_t expired_sum = 0;
     for (std::size_t t = 0; t < tenant_count; ++t) {
       TenantOutcome& outcome = result.tenants[t];
       outcome.name = config_.tenants[t].name;
@@ -645,24 +654,43 @@ ExperimentResult Cluster::run() {
         outcome.requests_generated += client->tenant_requests_generated(t);
         outcome.requests_completed += client->tenant_requests_completed(t);
         outcome.requests_failed += client->tenant_requests_failed(t);
+        outcome.requests_shed += client->tenant_requests_shed(t);
+        outcome.requests_expired += client->tenant_requests_expired(t);
       }
       // The same conservation law must close PER TENANT: a request generated
-      // by tenant t completes or fails as tenant t, never as a neighbour.
+      // by tenant t settles as tenant t, never as a neighbour.
       DAS_CHECK_MSG(outcome.requests_generated ==
-                        outcome.requests_completed + outcome.requests_failed,
+                        outcome.requests_completed + outcome.requests_failed +
+                            outcome.requests_shed + outcome.requests_expired,
                     "per-tenant request conservation violated");
       outcome.rct = metrics_.tenant_rct(t).summary();
       outcome.requests_measured = metrics_.tenant_rct(t).moments().count();
       outcome.requests_failed_measured = metrics_.tenant_failed_measured(t);
+      outcome.requests_shed_measured = metrics_.tenant_shed_measured(t);
+      outcome.requests_expired_measured = metrics_.tenant_expired_measured(t);
       generated_sum += outcome.requests_generated;
       completed_sum += outcome.requests_completed;
       failed_sum += outcome.requests_failed;
+      shed_sum += outcome.requests_shed;
+      expired_sum += outcome.requests_expired;
     }
     // And the tenant slices must partition the cluster totals exactly.
     DAS_CHECK_MSG(generated_sum == result.requests_generated &&
                       completed_sum == result.requests_completed &&
-                      failed_sum == result.requests_failed,
+                      failed_sum == result.requests_failed &&
+                      shed_sum == result.requests_shed &&
+                      expired_sum == result.requests_expired,
                   "tenant counters do not sum to the cluster totals");
+    // Degradation share: each tenant's fraction of the cluster's measured
+    // goodput — the number E22 reads to see WHO keeps completing under
+    // overload (per-tenant admission floors are about exactly this).
+    const std::uint64_t measured_total = metrics_.requests_measured();
+    for (TenantOutcome& outcome : result.tenants) {
+      outcome.goodput_share =
+          measured_total == 0 ? 0.0
+                              : static_cast<double>(outcome.requests_measured) /
+                                    static_cast<double>(measured_total);
+    }
     // Jain fairness over per-tenant mean RCT: 1.0 = all tenants see the same
     // mean, 1/n = one tenant absorbs all the latency. Tenants with no
     // measured requests are excluded; fewer than two leaves J = 1.
@@ -683,6 +711,10 @@ ExperimentResult Cluster::run() {
   for (const auto& server : servers_) {
     result.ops_completed += server->ops_completed();
     result.ops_dropped_crashed += server->ops_dropped();
+    result.ops_rejected_busy += server->ops_rejected_busy();
+    result.ops_shed_sojourn += server->ops_shed_sojourn();
+    result.ops_expired_dropped += server->ops_expired();
+    result.wasted_service_us += server->wasted_service_us();
     result.server_crashes += server->crashes();
     result.server_recoveries += server->recoveries();
     const double util = server->busy_time_in_window() / window_.measure_us;
@@ -708,22 +740,40 @@ ExperimentResult Cluster::run() {
   }
   result.breakdown = breakdown_.summary();
   if (config_.msg_loss_probability == 0 && config_.retry_timeout_us == 0 &&
-      config_.hedge_delay_us == 0 && !config_.fault_plan.loses_work()) {
+      config_.hedge_delay_us == 0 && !config_.fault_plan.loses_work() &&
+      !config_.overload.enabled()) {
     // Exact conservation without faults. With retransmission enabled,
     // spurious retries (RTO shorter than a queueing spike) can be served
-    // more than once even at zero loss, so the request-level check above
-    // (every request completed) is the meaningful invariant there.
+    // more than once even at zero loss, and the overload layer sheds ops by
+    // design, so the request-level check above (every request settled) is
+    // the meaningful invariant there.
     DAS_CHECK_MSG(result.ops_generated == result.ops_completed,
                   "operation conservation violated");
   }
   result.mean_server_utilization = util_sum / static_cast<double>(servers_.size());
   result.requests_measured = metrics_.requests_measured();
   result.requests_failed_measured = metrics_.requests_failed_measured();
-  const std::uint64_t settled = result.requests_completed + result.requests_failed;
+  result.requests_shed_measured = metrics_.requests_shed_measured();
+  result.requests_expired_measured = metrics_.requests_expired_measured();
+  const std::uint64_t settled = result.requests_completed +
+                                result.requests_failed + result.requests_shed +
+                                result.requests_expired;
   result.availability =
       settled == 0 ? 1.0
                    : static_cast<double>(result.requests_completed) /
                          static_cast<double>(settled);
+  // Goodput vs throughput over the measure window: goodput counts only
+  // completed-in-time requests, throughput every settled one. A protected
+  // cluster under overload shows throughput >> goodput on the unprotected
+  // baseline flipping to goodput ~= capacity with the excess shed cheaply.
+  const double measure_seconds = window_.measure_us / 1e6;
+  const std::uint64_t measured_settled =
+      result.requests_measured + result.requests_failed_measured +
+      result.requests_shed_measured + result.requests_expired_measured;
+  result.goodput_rps =
+      static_cast<double>(result.requests_measured) / measure_seconds;
+  result.throughput_rps =
+      static_cast<double>(measured_settled) / measure_seconds;
   result.net_messages = net_->stats().messages_sent;
   result.net_messages_dropped = net_->stats().messages_dropped;
   result.net_messages_dropped_partition =

@@ -13,6 +13,7 @@
 #include "common/distributions.hpp"
 #include "common/types.hpp"
 #include "fault/fault_plan.hpp"
+#include "overload/overload.hpp"
 #include "sched/scheduler.hpp"
 #include "select/selector.hpp"
 #include "store/lsm_model.hpp"
@@ -158,6 +159,12 @@ struct ClusterConfig {
   /// delay (needs replication >= 2); 0 disables.
   Duration hedge_delay_us = 0.0;
   // (Message sizes are computed exactly by core/wire.hpp encoders.)
+
+  // --- overload control ---------------------------------------------------
+  /// Bounded queues / deadlines / admission control (src/overload). All
+  /// defaults OFF: a default-constructed block reproduces the unprotected
+  /// system bit-for-bit (wire sizes, RNG streams, results).
+  overload::OverloadConfig overload;
 
   // --- faults -------------------------------------------------------------
   /// Scripted fault timeline (crashes/recoveries, gray-failure slowdowns,

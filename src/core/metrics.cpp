@@ -15,6 +15,8 @@ void Metrics::enable_tenants(std::size_t count) {
   DAS_CHECK(count >= 1);
   tenant_rct_.assign(count, LatencyRecorder{1e9});
   tenant_failures_measured_.assign(count, 0);
+  tenant_shed_measured_.assign(count, 0);
+  tenant_expired_measured_.assign(count, 0);
 }
 
 void Metrics::record_request(SimTime arrival, SimTime completion, std::size_t fan,
@@ -50,16 +52,53 @@ void Metrics::record_request_failure(SimTime arrival, SimTime failed_at,
   }
 }
 
+void Metrics::record_request_shed(SimTime arrival, SimTime shed_at,
+                                  std::uint32_t tenant) {
+  DAS_CHECK(shed_at >= arrival);
+  if (timeline_bucket_us_ > 0) {
+    const auto bucket = static_cast<std::size_t>(shed_at / timeline_bucket_us_);
+    if (bucket >= timeline_shed_.size()) timeline_shed_.resize(bucket + 1);
+    ++timeline_shed_[bucket];
+  }
+  if (!in_window(arrival)) return;
+  ++shed_measured_;
+  if (!tenant_shed_measured_.empty()) {
+    DAS_CHECK(tenant < tenant_shed_measured_.size());
+    ++tenant_shed_measured_[tenant];
+  }
+}
+
+void Metrics::record_request_expired(SimTime arrival, SimTime expired_at,
+                                     std::uint32_t tenant) {
+  DAS_CHECK(expired_at >= arrival);
+  if (timeline_bucket_us_ > 0) {
+    const auto bucket =
+        static_cast<std::size_t>(expired_at / timeline_bucket_us_);
+    if (bucket >= timeline_expired_.size()) timeline_expired_.resize(bucket + 1);
+    ++timeline_expired_[bucket];
+  }
+  if (!in_window(arrival)) return;
+  ++expired_measured_;
+  if (!tenant_expired_measured_.empty()) {
+    DAS_CHECK(tenant < tenant_expired_measured_.size());
+    ++tenant_expired_measured_[tenant];
+  }
+}
+
 std::vector<Metrics::TimelinePoint> Metrics::timeline() const {
   std::vector<TimelinePoint> points;
   const std::size_t buckets =
-      std::max(timeline_buckets_.size(), timeline_failed_.size());
+      std::max({timeline_buckets_.size(), timeline_failed_.size(),
+                timeline_shed_.size(), timeline_expired_.size()});
   for (std::size_t b = 0; b < buckets; ++b) {
     const LatencyRecorder* rec =
         b < timeline_buckets_.size() ? &timeline_buckets_[b] : nullptr;
     const std::size_t completed = rec != nullptr ? rec->moments().count() : 0;
     const std::size_t failed = b < timeline_failed_.size() ? timeline_failed_[b] : 0;
-    if (completed == 0 && failed == 0) continue;
+    const std::size_t shed = b < timeline_shed_.size() ? timeline_shed_[b] : 0;
+    const std::size_t expired =
+        b < timeline_expired_.size() ? timeline_expired_[b] : 0;
+    if (completed == 0 && failed == 0 && shed == 0 && expired == 0) continue;
     TimelinePoint point;
     point.bucket_start = static_cast<double>(b) * timeline_bucket_us_;
     if (completed > 0) {
@@ -68,6 +107,8 @@ std::vector<Metrics::TimelinePoint> Metrics::timeline() const {
     }
     point.count = completed;
     point.failed = failed;
+    point.shed = shed;
+    point.expired = expired;
     points.push_back(point);
   }
   return points;

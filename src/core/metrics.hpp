@@ -42,6 +42,15 @@ class Metrics {
   /// counted, both in-window and on the degradation timeline.
   void record_request_failure(SimTime arrival, SimTime failed_at,
                               std::uint32_t tenant = 0);
+  /// A request was SHED by the overload layer (admission refusal or a BUSY
+  /// rejection the client did not ride out). Like failures, shed requests
+  /// never enter the RCT population but are counted in-window and on the
+  /// degradation timeline.
+  void record_request_shed(SimTime arrival, SimTime shed_at,
+                           std::uint32_t tenant = 0);
+  /// A request's end-to-end deadline passed before completion.
+  void record_request_expired(SimTime arrival, SimTime expired_at,
+                              std::uint32_t tenant = 0);
   void record_operation(SimTime server_arrival, SimTime completion, Duration wait);
 
   const LatencyRecorder& rct() const { return rct_; }
@@ -51,6 +60,8 @@ class Metrics {
 
   std::uint64_t requests_measured() const { return rct_.moments().count(); }
   std::uint64_t requests_failed_measured() const { return failures_measured_; }
+  std::uint64_t requests_shed_measured() const { return shed_measured_; }
+  std::uint64_t requests_expired_measured() const { return expired_measured_; }
 
   std::size_t tenant_count() const { return tenant_rct_.size(); }
   const LatencyRecorder& tenant_rct(std::size_t t) const {
@@ -58,6 +69,12 @@ class Metrics {
   }
   std::uint64_t tenant_failed_measured(std::size_t t) const {
     return tenant_failures_measured_.at(t);
+  }
+  std::uint64_t tenant_shed_measured(std::size_t t) const {
+    return tenant_shed_measured_.at(t);
+  }
+  std::uint64_t tenant_expired_measured(std::size_t t) const {
+    return tenant_expired_measured_.at(t);
   }
 
   /// One point per non-empty bucket: bucket start time, mean and p99 RCT
@@ -70,6 +87,10 @@ class Metrics {
     double p99_rct = 0;
     std::size_t count = 0;
     std::size_t failed = 0;
+    /// Overload-layer outcomes in this bucket (metastability studies read
+    /// recovery — or its absence — off these two columns plus `count`).
+    std::size_t shed = 0;
+    std::size_t expired = 0;
   };
   std::vector<TimelinePoint> timeline() const;
 
@@ -81,20 +102,27 @@ class Metrics {
   LatencyRecorder op_wait_{1e9};
   StreamingStats fanout_;
   std::uint64_t failures_measured_ = 0;
+  std::uint64_t shed_measured_ = 0;
+  std::uint64_t expired_measured_ = 0;
   /// Per-tenant RCT recorders and in-window failure counts; empty unless
   /// enable_tenants was called (multi-tenant runs only).
   std::vector<LatencyRecorder> tenant_rct_;
   std::vector<std::uint64_t> tenant_failures_measured_;
+  std::vector<std::uint64_t> tenant_shed_measured_;
+  std::vector<std::uint64_t> tenant_expired_measured_;
   Duration timeline_bucket_us_ = 0;
   std::vector<LatencyRecorder> timeline_buckets_;
-  /// Failed-request count per timeline bucket (indexed like the latency
-  /// buckets; grown on demand).
+  /// Failed/shed/expired-request counts per timeline bucket (indexed like
+  /// the latency buckets; grown on demand).
   std::vector<std::size_t> timeline_failed_;
+  std::vector<std::size_t> timeline_shed_;
+  std::vector<std::size_t> timeline_expired_;
 };
 
 /// One tenant's slice of a multi-tenant run. Accounting closes exactly:
-/// generated == completed + failed per tenant, and the per-field sums over
-/// tenants equal the cluster totals (both checked by Cluster::run).
+/// generated == completed + failed + shed + expired per tenant, and the
+/// per-field sums over tenants equal the cluster totals (both checked by
+/// Cluster::run).
 struct TenantOutcome {
   std::string name;
   /// Arrival-rate weight from the TenantSpec (as configured, unnormalised).
@@ -104,6 +132,15 @@ struct TenantOutcome {
   std::uint64_t requests_failed = 0;
   std::uint64_t requests_measured = 0;
   std::uint64_t requests_failed_measured = 0;
+  /// Overload-layer degradation (all zero with the layer off): who pays
+  /// under overload.
+  std::uint64_t requests_shed = 0;
+  std::uint64_t requests_expired = 0;
+  std::uint64_t requests_shed_measured = 0;
+  std::uint64_t requests_expired_measured = 0;
+  /// This tenant's fraction of the cluster's in-window completions
+  /// (goodput). Sums to 1 over tenants when anything completed.
+  double goodput_share = 0;
   LatencySummary rct;  // this tenant's request completion time (µs)
 };
 
@@ -117,9 +154,26 @@ struct ExperimentResult {
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_measured = 0;
   /// Graceful-degradation accounting (fault layer). Conservation holds as
-  /// requests_generated == requests_completed + requests_failed at drain.
+  /// requests_generated == requests_completed + requests_failed +
+  /// requests_shed + requests_expired at drain.
   std::uint64_t requests_failed = 0;
   std::uint64_t requests_failed_measured = 0;
+  /// Overload-layer accounting (src/overload); all zero with the layer off.
+  std::uint64_t requests_shed = 0;           ///< admission refusal / BUSY give-up
+  std::uint64_t requests_expired = 0;        ///< end-to-end deadline passed
+  std::uint64_t requests_shed_measured = 0;
+  std::uint64_t requests_expired_measured = 0;
+  std::uint64_t requests_shed_admission = 0;  ///< refused before any op was sent
+  std::uint64_t ops_rejected_busy = 0;        ///< server cap rejections
+  std::uint64_t ops_shed_sojourn = 0;         ///< server sojourn drops
+  std::uint64_t ops_expired_dropped = 0;      ///< server expiry drops at dequeue
+  /// Service time spent on ops that completed after their expiry (served
+  /// work nobody was waiting for; no mid-service abort exists).
+  double wasted_service_us = 0;
+  /// In-window settle and success rates (requests/s over the measure
+  /// window). goodput <= throughput always; the gap is paid degradation.
+  double throughput_rps = 0;  ///< completed + failed + shed + expired
+  double goodput_rps = 0;     ///< completed only
   std::uint64_t requests_completed_after_failover = 0;
   std::uint64_t ops_failed_over = 0;
   std::uint64_t ops_abandoned = 0;

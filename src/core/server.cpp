@@ -34,7 +34,8 @@ Server::Server(sim::Simulator& sim, Params params, sched::SchedulerPtr scheduler
     : sim_(sim),
       params_(std::move(params)),
       scheduler_(std::move(scheduler)),
-      metrics_(metrics) {
+      metrics_(metrics),
+      guard_(params_.overload) {
   service_model_ = std::move(params_.service_model);
   if (params_.log_structured_storage) {
     storage_ = std::make_unique<store::LogStructuredEngine>();
@@ -126,9 +127,12 @@ double Server::d_hat_us() const {
 
 void Server::check_invariants() const {
   DAS_AUDIT(ops_received_ == scheduler_->size() + (busy_ ? 1 : 0) +
-                                 ops_completed_ + ops_dropped_,
+                                 ops_completed_ + ops_dropped_ +
+                                 guard_.total_shed(),
             "op conservation: received != queued + in-service + completed + "
-            "dropped");
+            "dropped + shed");
+  guard_.check_invariants();
+  DAS_AUDIT(wasted_service_us_ >= 0, "negative wasted service");
   DAS_AUDIT(mu_hat_ > 0, "nonpositive speed estimate");
   DAS_AUDIT(fault_slowdown_ > 0, "nonpositive fault slowdown");
   // effective_speed() factor bounds: each factor in range, product positive.
@@ -161,10 +165,14 @@ void Server::receive_op(const sched::OpContext& op) {
     return;
   }
   const SimTime now = sim_.now();
+  const bool reject = guard_.should_reject(scheduler_->size());
   if (tracer_ != nullptr) {
-    tracer_->server_enqueue(now, op.op_id, op.request_id, params_.id);
-    // Sampled queue-state counters piggyback on arrivals: no extra simulator
-    // events, so tracing cannot perturb the event schedule.
+    if (!reject) {
+      tracer_->server_enqueue(now, op.op_id, op.request_id, params_.id);
+    }
+    // Sampled queue-state counters piggyback on arrivals — rejected ones
+    // included: the gauges matter most exactly when the queue is full. No
+    // extra simulator events, so tracing cannot perturb the event schedule.
     if (ops_received_ % tracer_->counter_stride() == 0) {
       tracer_->counter_sample(now, params_.id, scheduler_->backlog_demand_us(),
                               mu_hat_,
@@ -176,6 +184,18 @@ void Server::receive_op(const sched::OpContext& op) {
                                       g.compaction_debt_bytes, g.l0_runs);
       }
     }
+  }
+  if (reject) {
+    // Bounded queue at cap: the arrival bounces straight back as BUSY. The
+    // rejection costs the network a response but zero service — shedding at
+    // the door is the whole point of the bound.
+    guard_.note_rejected();
+    if (tracer_ != nullptr) {
+      tracer_->op_shed(now, op.op_id, op.request_id, params_.id,
+                       trace::OpShedReason::kQueueFull);
+    }
+    respond_shed(op, OpStatus::kBusy);
+    return;
   }
   if (busy_ && params_.preemptive) {
     // Snapshot the in-service op's remaining demand and ask the policy.
@@ -191,6 +211,23 @@ void Server::receive_op(const sched::OpContext& op) {
   }
   scheduler_->enqueue(op, now);
   maybe_start();
+}
+
+void Server::respond_shed(const sched::OpContext& op, OpStatus status) {
+  OpResponse resp;
+  resp.op_id = op.op_id;
+  resp.request_id = op.request_id;
+  resp.client = op.client;
+  resp.server = params_.id;
+  resp.key = op.key;
+  resp.hit = false;
+  resp.is_write = op.is_write;
+  resp.completed_at = sim_.now();
+  resp.d_hat_us = d_hat_us();
+  resp.mu_hat = mu_hat_;
+  resp.status = status;
+  DAS_CHECK_MSG(respond_ != nullptr, "response handler not wired");
+  respond_(resp);
 }
 
 void Server::preempt_current() {
@@ -270,7 +307,39 @@ void Server::set_fault_slowdown(double factor) {
 void Server::maybe_start() {
   if (busy_ || state_ == State::kCrashed || scheduler_->empty()) return;
   const SimTime now = sim_.now();
-  current_op_ = scheduler_->dequeue(now);
+  // Dequeue-time shedding: with the overload layer on, the head pick may be
+  // past its end-to-end deadline (serving it would be pure waste) or — under
+  // the sojourn-drop policy — have waited past the sojourn threshold (the
+  // CoDel signal that the queue has gone standing). Either way the op is
+  // answered immediately and the loop pulls the next candidate, so the
+  // server never idles while sheddable work hides a runnable op behind it.
+  bool selected = false;
+  while (!scheduler_->empty()) {
+    sched::OpContext head = scheduler_->dequeue(now);
+    if (guard_.is_expired(now, head.expiry)) {
+      guard_.note_expired();
+      if (tracer_ != nullptr) {
+        tracer_->op_shed(now, head.op_id, head.request_id, params_.id,
+                         trace::OpShedReason::kExpired);
+      }
+      respond_shed(head, OpStatus::kExpired);
+      continue;
+    }
+    if (guard_.should_drop_sojourn(now, head.enqueued_at)) {
+      guard_.note_sojourn_drop();
+      if (tracer_ != nullptr) {
+        tracer_->op_shed(now, head.op_id, head.request_id, params_.id,
+                         trace::OpShedReason::kSojourn);
+      }
+      respond_shed(head, OpStatus::kBusy);
+      continue;
+    }
+    current_op_ = head;
+    selected = true;
+    break;
+  }
+  // Shedding may have drained the whole queue.
+  if (!selected) return;
   current_started_ = now;
   busy_ = true;
   // Base cost: the store model's price when one is attached (size-dependent
@@ -320,6 +389,12 @@ void Server::complete_current() {
     emit_store_transitions();
   }
   ++ops_completed_;
+  // Deadlines are only checked at dequeue, never mid-service: an op that
+  // expired while being served still completes, but its service time was
+  // wasted — the client's deadline timer has already failed the request.
+  if (guard_.is_expired(now, current_op_.expiry)) {
+    wasted_service_us_ += elapsed;
+  }
   if (state_ == State::kRecovering && --recovery_ops_left_ == 0)
     state_ = State::kUp;
 

@@ -8,6 +8,7 @@
 #include "common/invariant.hpp"
 #include "common/types.hpp"
 #include "core/metrics.hpp"
+#include "overload/overload.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "store/log_engine.hpp"
@@ -18,6 +19,19 @@
 #include "workload/rate_function.hpp"
 
 namespace das::core {
+
+/// Outcome of an operation, as reported to the client. Non-OK statuses are
+/// explicit overload signals — unlike a silent drop they arrive promptly and
+/// still piggyback d_hat/mu_hat, so shedding FEEDS the learned view.
+enum class OpStatus : std::uint8_t {
+  kOk = 0,
+  /// Shed by the server's QueueGuard: queue at cap (reject-new) or sojourn
+  /// threshold exceeded (sojourn-drop). The op was not served.
+  kBusy = 1,
+  /// Dropped at dequeue because the request's end-to-end deadline had
+  /// already passed — serving it would have been pure waste.
+  kExpired = 2,
+};
 
 /// What a server sends back to the client when an operation completes.
 /// `d_hat_us` / `mu_hat` are the piggybacked adaptive state: the advertised
@@ -34,6 +48,9 @@ struct OpResponse {
   SimTime completed_at = 0;
   double d_hat_us = 0;
   double mu_hat = 1.0;
+  /// kOk unless the op was shed by the overload layer (in which case `hit`
+  /// is false, no value travels, and the wire adds one status byte).
+  OpStatus status = OpStatus::kOk;
   /// Server-side timing echo for the RCT breakdown. Out of band: carried on
   /// the simulated message object but EXCLUDED from the wire-size model
   /// (net/wire.hpp), so enabling the breakdown never changes net_bytes.
@@ -66,6 +83,10 @@ class Server : public Auditable {
     /// costs its client-tagged demand and storage never dents capacity.
     /// Owning a provider makes Params move-only.
     store::ServiceTimeProviderPtr service_model;
+    /// Overload protection (bounded queue / deadline drops). All defaults
+    /// off: the guard never fires and the server is bit-identical to
+    /// pre-layer builds.
+    overload::OverloadConfig overload;
   };
 
   Server(sim::Simulator& sim, Params params, sched::SchedulerPtr scheduler,
@@ -141,6 +162,16 @@ class Server : public Auditable {
   std::uint64_t crashes() const { return crashes_; }
   std::uint64_t recoveries() const { return recoveries_; }
 
+  /// Overload-layer shed counters (all zero with the layer off).
+  const overload::QueueGuard& queue_guard() const { return guard_; }
+  std::uint64_t ops_rejected_busy() const { return guard_.rejected_busy(); }
+  std::uint64_t ops_shed_sojourn() const { return guard_.dropped_sojourn(); }
+  std::uint64_t ops_expired() const { return guard_.expired(); }
+  /// Service time (µs) spent on ops that later turned out to be expired at
+  /// completion — counted as wasted even though the op was served, because
+  /// no deadline check runs mid-service.
+  Duration wasted_service_us() const { return wasted_service_us_; }
+
   /// Request conservation (every received op is queued, in service,
   /// completed, or dropped by a crash), nonnegative remaining service
   /// demand, a live completion event whenever the server is busy, an empty
@@ -163,6 +194,9 @@ class Server : public Auditable {
   /// Forwards store-model transitions (compaction/stall spans, flushes) to
   /// the tracer. No-op when untraced.
   void emit_store_transitions();
+  /// Answers a shed op with a BUSY/EXPIRED response — still piggybacking
+  /// d_hat/mu_hat, so shedding feeds the client's learned view.
+  void respond_shed(const sched::OpContext& op, OpStatus status);
   void maybe_start();
   void complete_current();
   /// Requeues the in-service op with its remaining demand.
@@ -173,6 +207,8 @@ class Server : public Auditable {
   Params params_;
   sched::SchedulerPtr scheduler_;
   Metrics& metrics_;
+  /// Overload protection: accept/shed decisions and the shed counters.
+  overload::QueueGuard guard_;
   std::unique_ptr<store::KvStore> storage_;
   /// Moved out of Params at construction; nullptr in synthetic mode.
   store::ServiceTimeProviderPtr service_model_;
@@ -205,6 +241,8 @@ class Server : public Auditable {
   std::uint64_t ops_dropped_ = 0;
   std::uint64_t crashes_ = 0;
   std::uint64_t recoveries_ = 0;
+  /// Service time spent on ops that completed past their expiry.
+  Duration wasted_service_us_ = 0;
 
   SimTime window_begin_ = 0;
   SimTime window_end_ = kTimeInfinity;

@@ -33,9 +33,11 @@ std::vector<double> parse_load_list(const std::string& spec) {
     if (pos != token.size() || !std::isfinite(load)) {
       throw std::invalid_argument("malformed load '" + token + "' in load list");
     }
-    if (load <= 0.0 || load >= 1.0) {
+    // Loads above 1 are deliberate overload points (E22); the config-level
+    // bound (< 10) still catches typos like "12" for "1.2".
+    if (load <= 0.0 || load >= 10.0) {
       throw std::invalid_argument("load '" + token +
-                                  "' outside (0, 1) in load list");
+                                  "' outside (0, 10) in load list");
     }
     out.push_back(load);
   }

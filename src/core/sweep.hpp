@@ -24,8 +24,9 @@ namespace das::core {
 /// grid. Strict and deterministic: throws std::invalid_argument naming the
 /// offending token on an empty list, an empty element (trailing/double
 /// comma), a non-numeric element, trailing junk ("0.5x"), or a load outside
-/// (0, 1) — a malformed grid must fail before any point runs, not after the
-/// valid prefix burned an hour.
+/// (0, 10) — a malformed grid must fail before any point runs, not after the
+/// valid prefix burned an hour. Loads above 1 are deliberate overload points
+/// (E22): run them behind the overload protections or expect a long drain.
 std::vector<double> parse_load_list(const std::string& spec);
 
 /// One experiment point of a sweep grid. `experiment` and `point` are labels

@@ -113,6 +113,14 @@ constexpr std::size_t kResponseFixed = 1 + 8 + 8 + 4 + 4 + 8 + 1 + 1 + 8 + 8 + 8
 constexpr std::size_t kProgressFixed = 1 + 8 + 8 + 8 + 8;
 constexpr std::size_t kTrailer = 4;
 
+// Overload-control extensions ride as OPTIONAL trailing fields, present only
+// when the feature is active for the message (finite expiry / non-OK status).
+// Presence is length-derived at decode, so protected and unprotected builds
+// interoperate and feature-off message sizes are bit-identical to pre-layer
+// builds.
+constexpr std::size_t kOpExpiryExt = 8;      // f64 absolute expiry
+constexpr std::size_t kResponseStatusExt = 1;  // u8 OpStatus
+
 }  // namespace
 
 std::uint32_t fletcher32(const std::uint8_t* data, std::size_t size) {
@@ -155,6 +163,7 @@ Buffer encode_op(const sched::OpContext& op) {
   w.f64(op.deadline);
   w.u8(op.is_write ? 1 : 0);
   w.u64(op.write_size);
+  if (op.expiry != kTimeInfinity) w.f64(op.expiry);
   return w.seal();
 }
 
@@ -178,11 +187,14 @@ std::optional<sched::OpContext> decode_op(const Buffer& buffer) {
   op.deadline = r.f64();
   op.is_write = r.u8() != 0;
   op.write_size = r.u64();
+  if (!r.exhausted()) op.expiry = r.f64();
   if (!r.valid() || !r.exhausted()) return std::nullopt;
   return op;
 }
 
-std::size_t op_wire_size(const sched::OpContext&) { return kOpFixed + kTrailer; }
+std::size_t op_wire_size(const sched::OpContext& op) {
+  return kOpFixed + kTrailer + (op.expiry != kTimeInfinity ? kOpExpiryExt : 0);
+}
 
 Buffer encode_response(const OpResponse& resp) {
   Writer w{kResponseFixed + kTrailer};
@@ -198,6 +210,8 @@ Buffer encode_response(const OpResponse& resp) {
   w.f64(resp.completed_at);
   w.f64(resp.d_hat_us);
   w.f64(resp.mu_hat);
+  if (resp.status != OpStatus::kOk)
+    w.u8(static_cast<std::uint8_t>(resp.status));
   return w.seal();
 }
 
@@ -218,12 +232,22 @@ std::optional<OpResponse> decode_response(const Buffer& buffer) {
   resp.completed_at = r.f64();
   resp.d_hat_us = r.f64();
   resp.mu_hat = r.f64();
+  if (!r.exhausted()) {
+    const std::uint8_t status = r.u8();
+    if (status > static_cast<std::uint8_t>(OpStatus::kExpired))
+      return std::nullopt;
+    resp.status = static_cast<OpStatus>(status);
+    if (resp.status == OpStatus::kOk) return std::nullopt;  // non-canonical
+  }
   if (!r.valid() || !r.exhausted()) return std::nullopt;
   return resp;
 }
 
 std::size_t response_wire_size(const OpResponse& resp) {
-  // Header plus the value payload for read hits (writes ack without data).
+  // Header plus the value payload for read hits (writes ack without data);
+  // shed responses carry a status byte and never a payload.
+  if (resp.status != OpStatus::kOk)
+    return kResponseFixed + kTrailer + kResponseStatusExt;
   return kResponseFixed + kTrailer +
          (resp.hit && !resp.is_write ? resp.value_size : 0);
 }

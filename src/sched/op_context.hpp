@@ -53,6 +53,14 @@ struct OpContext {
   /// --- EDF tag ------------------------------------------------------------
   SimTime deadline = kTimeInfinity;
 
+  /// --- overload control ---------------------------------------------------
+  /// ENFORCED end-to-end expiry (request arrival + deadline budget), distinct
+  /// from the EDF `deadline` above, which is only a priority key. Servers
+  /// shed the op at dequeue once this passes (src/overload); kTimeInfinity =
+  /// deadlines off. Transmitted on the wire only when the overload layer is
+  /// active, so feature-off message sizes are unchanged.
+  SimTime expiry = kTimeInfinity;
+
   /// --- write path -----------------------------------------------------------
   /// PUT instead of GET: the server stores `write_size` bytes under `key`.
   /// Schedulers treat reads and writes uniformly (priority follows demand).

@@ -73,6 +73,8 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
       case EventKind::kOpSend:
       case EventKind::kResponse:
       case EventKind::kRequestComplete:
+      case EventKind::kRequestShed:
+      case EventKind::kRequestExpired:
         clients.insert(ev.client);
         break;
       default:
@@ -274,6 +276,37 @@ void render_chrome_trace(std::ostream& os, const Tracer& tracer) {
         }
         break;
       }
+      case EventKind::kOpShed: {
+        // An op shed at dequeue may still be inside a "deferred" span.
+        close_deferred(ev);
+        const auto reason = static_cast<OpShedReason>(static_cast<int>(ev.a));
+        extra << R"(, "s": "t", "cat": "overload", "name": "shed:)"
+              << to_string(reason) << R"(", "args": {"op": )";
+        id_str(extra, ev.op);
+        extra << R"(, "request": )";
+        id_str(extra, ev.request);
+        extra << "}";
+        event(os, first, "i", server_pid(ev.server), 0, ev.t, extra.str());
+        break;
+      }
+      case EventKind::kRequestShed:
+        // Shedding closes the request's async span, like completion.
+        extra << R"(, "cat": "request", "name": "request", "id": )";
+        id_str(extra, ev.request);
+        extra << R"(, "args": {"outcome": "shed", "age_us": )";
+        num(extra, ev.a);
+        extra << R"(, "at_admission": )" << (ev.b != 0 ? "true" : "false")
+              << "}";
+        event(os, first, "e", client_pid(ev.client), 0, ev.t, extra.str());
+        break;
+      case EventKind::kRequestExpired:
+        extra << R"(, "cat": "request", "name": "request", "id": )";
+        id_str(extra, ev.request);
+        extra << R"(, "args": {"outcome": "expired", "age_us": )";
+        num(extra, ev.a);
+        extra << "}";
+        event(os, first, "e", client_pid(ev.client), 0, ev.t, extra.str());
+        break;
     }
   }
 

@@ -21,8 +21,21 @@ const char* to_string(EventKind kind) {
     case EventKind::kFaultEvent: return "fault_event";
     case EventKind::kStoreEvent: return "store_event";
     case EventKind::kStoreCounterSample: return "store_counter_sample";
+    case EventKind::kOpShed: return "op_shed";
+    case EventKind::kRequestShed: return "request_shed";
+    case EventKind::kRequestExpired: return "request_expired";
   }
   DAS_CHECK_MSG(false, "unknown trace event kind");
+  return "?";
+}
+
+const char* to_string(OpShedReason reason) {
+  switch (reason) {
+    case OpShedReason::kQueueFull: return "queue_full";
+    case OpShedReason::kSojourn: return "sojourn";
+    case OpShedReason::kExpired: return "expired";
+  }
+  DAS_CHECK_MSG(false, "unknown op shed reason");
   return "?";
 }
 
@@ -246,6 +259,41 @@ void Tracer::store_counter_sample(SimTime t, ServerId server,
   ev.a = memtable_fill_bytes;
   ev.b = compaction_debt_bytes;
   ev.c = static_cast<double>(l0_runs);
+  record(ev);
+}
+
+void Tracer::op_shed(SimTime t, OperationId op, RequestId request,
+                     ServerId server, OpShedReason reason) {
+  TraceEvent ev;
+  ev.kind = EventKind::kOpShed;
+  ev.t = t;
+  ev.request = request;
+  ev.op = op;
+  ev.server = server;
+  ev.a = static_cast<double>(reason);
+  record(ev);
+}
+
+void Tracer::request_shed(SimTime t, RequestId request, ClientId client,
+                          double age_us, bool at_admission) {
+  TraceEvent ev;
+  ev.kind = EventKind::kRequestShed;
+  ev.t = t;
+  ev.request = request;
+  ev.client = client;
+  ev.a = age_us;
+  ev.b = at_admission ? 1 : 0;
+  record(ev);
+}
+
+void Tracer::request_expired(SimTime t, RequestId request, ClientId client,
+                             double age_us) {
+  TraceEvent ev;
+  ev.kind = EventKind::kRequestExpired;
+  ev.t = t;
+  ev.request = request;
+  ev.client = client;
+  ev.a = age_us;
   record(ev);
 }
 

@@ -48,6 +48,10 @@ enum class EventKind : std::uint8_t {
   kStoreEvent,       // store-model transition (a=StoreTraceKind, b=debt_bytes)
   kStoreCounterSample,  // store gauges (a=memtable_fill_bytes,
                         //   b=compaction_debt_bytes, c=l0 run count)
+  kOpShed,            // overload layer shed the op (a=OpShedReason)
+  kRequestShed,       // request shed: admission refusal / BUSY give-up
+                      //   (a=age_us, b=1 when refused at admission)
+  kRequestExpired,    // end-to-end deadline passed (a=age_us)
 };
 
 /// Stable lower-snake identifier, e.g. "op_defer", "service_start".
@@ -82,6 +86,16 @@ enum class StoreTraceKind : std::uint8_t {
 
 /// Stable lower-snake identifier, e.g. "compaction_start", "flush".
 const char* to_string(StoreTraceKind kind);
+
+/// Why the overload layer shed an op (payload `a` of kOpShed).
+enum class OpShedReason : std::uint8_t {
+  kQueueFull,     // bounded queue at cap: arrival rejected BUSY
+  kSojourn,       // sojourn-drop policy: waited past the threshold
+  kExpired,       // end-to-end deadline passed before dispatch
+};
+
+/// Stable lower-snake identifier, e.g. "queue_full", "sojourn".
+const char* to_string(OpShedReason reason);
 
 /// One recorded event. Fixed-size so the ring stays cache-friendly; ids not
 /// meaningful for a kind are left at their defaults (kInvalidServer etc.).
@@ -150,6 +164,17 @@ class Tracer {
   void store_counter_sample(SimTime t, ServerId server,
                             double memtable_fill_bytes,
                             double compaction_debt_bytes, std::size_t l0_runs);
+  /// Overload layer: server shed one op (BUSY rejection, sojourn or expiry
+  /// drop — `reason` says which).
+  void op_shed(SimTime t, OperationId op, RequestId request, ServerId server,
+               OpShedReason reason);
+  /// Overload layer: the whole request was shed client-side. `at_admission`
+  /// marks refusals before any op was sent.
+  void request_shed(SimTime t, RequestId request, ClientId client,
+                    double age_us, bool at_admission);
+  /// Overload layer: the request's end-to-end deadline passed.
+  void request_expired(SimTime t, RequestId request, ClientId client,
+                       double age_us);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   /// Events rejected by the cap (explicit drop accounting: retained +

@@ -77,11 +77,19 @@ TEST(Config, MismatchedSpeedFactorLengthThrows) {
 }
 
 TEST(Config, InvalidTargetLoadThrows) {
+  // Loads past 1 are legal (E22 drives the cluster into overload on
+  // purpose); only nonpositive or absurd targets are rejected.
   ClusterConfig cfg;
-  cfg.target_load = 1.0;
+  cfg.target_load = 10.0;
   EXPECT_THROW(cfg.derived_arrival_rate(1e6), std::logic_error);
   cfg.target_load = 0.0;
   EXPECT_THROW(cfg.derived_arrival_rate(1e6), std::logic_error);
+}
+
+TEST(Config, OverloadTargetLoadIsAccepted) {
+  ClusterConfig cfg;
+  cfg.target_load = 1.2;
+  EXPECT_GT(cfg.derived_arrival_rate(1e6), 0.0);
 }
 
 TEST(ConfigValidate, DefaultConfigIsAccepted) {

@@ -187,10 +187,13 @@ TEST(BenchJson, EmitsWellformedReproducibleJson) {
   const auto outcomes = runner.run(2);
   const std::string json = bench_json_string("sweep_test", outcomes);
   expect_wellformed_json(json);
-  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
   EXPECT_NE(json.find("\"experiment\": \"sweep_test\""), std::string::npos);
   EXPECT_NE(json.find("\"jain_fairness\""), std::string::npos);
   EXPECT_NE(json.find("\"tenants\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"overload\""), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_rps\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests_shed\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"storage\""), std::string::npos);
   EXPECT_NE(json.find("\"compaction_busy_us\""), std::string::npos);
   EXPECT_NE(json.find("\"degradation\""), std::string::npos);
@@ -322,12 +325,17 @@ TEST(ParseLoadList, EmptyElementsRejected) {
 }
 
 TEST(ParseLoadList, OutOfRangeLoadRejected) {
-  EXPECT_THROW(parse_load_list("0.5,1.0"), std::invalid_argument);
   EXPECT_THROW(parse_load_list("0"), std::invalid_argument);
   EXPECT_THROW(parse_load_list("-0.3"), std::invalid_argument);
-  EXPECT_THROW(parse_load_list("1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_load_list("10"), std::invalid_argument);  // typo for 1.0
   EXPECT_THROW(parse_load_list("nan"), std::invalid_argument);
   EXPECT_THROW(parse_load_list("inf"), std::invalid_argument);
+}
+
+TEST(ParseLoadList, OverloadPointsAccepted) {
+  // Loads at or above 1 are legitimate E22 overload points.
+  EXPECT_EQ(parse_load_list("0.9,1.0,1.3"),
+            (std::vector<double>{0.9, 1.0, 1.3}));
 }
 
 }  // namespace

@@ -24,6 +24,9 @@ sched::OpContext random_op(Rng& rng) {
   op.deadline = rng.uniform(0, 1e9);
   op.is_write = rng.chance(0.3);
   op.write_size = rng.next_below(1 << 20);
+  // Optional overload extension: absent (infinity) half of the time, like a
+  // run without deadlines.
+  op.expiry = rng.chance(0.5) ? rng.uniform(0, 1e9) : kTimeInfinity;
   return op;
 }
 
@@ -65,7 +68,28 @@ TEST(Wire, OpRoundTripFuzz) {
     EXPECT_DOUBLE_EQ(decoded->deadline, op.deadline);
     EXPECT_EQ(decoded->is_write, op.is_write);
     EXPECT_EQ(decoded->write_size, op.write_size);
+    EXPECT_DOUBLE_EQ(decoded->expiry, op.expiry);
   }
+}
+
+TEST(Wire, OpExpiryExtensionIsLengthDerived) {
+  Rng rng{11};
+  sched::OpContext op = random_op(rng);
+  // No deadline: the wire image must be byte-identical to a pre-overload
+  // build (no trailing extension at all).
+  op.expiry = kTimeInfinity;
+  const Buffer legacy = encode_op(op);
+  EXPECT_EQ(legacy.size(), op_wire_size(op));
+  op.expiry = 12345.5;
+  const Buffer extended = encode_op(op);
+  EXPECT_EQ(extended.size(), legacy.size() + 8);
+  EXPECT_EQ(extended.size(), op_wire_size(op));
+  const auto decoded_legacy = decode_op(legacy);
+  ASSERT_TRUE(decoded_legacy.has_value());
+  EXPECT_EQ(decoded_legacy->expiry, kTimeInfinity);
+  const auto decoded_ext = decode_op(extended);
+  ASSERT_TRUE(decoded_ext.has_value());
+  EXPECT_DOUBLE_EQ(decoded_ext->expiry, 12345.5);
 }
 
 TEST(Wire, ResponseRoundTripFuzz) {
@@ -83,6 +107,55 @@ TEST(Wire, ResponseRoundTripFuzz) {
     EXPECT_DOUBLE_EQ(decoded->d_hat_us, resp.d_hat_us);
     EXPECT_DOUBLE_EQ(decoded->mu_hat, resp.mu_hat);
   }
+}
+
+TEST(Wire, ShedResponseRoundTrip) {
+  Rng rng{6};
+  for (const OpStatus status : {OpStatus::kBusy, OpStatus::kExpired}) {
+    OpResponse resp = random_response(rng);
+    // respond_shed never carries a payload: hit=false, value_size=0.
+    resp.hit = false;
+    resp.value_size = 0;
+    resp.status = status;
+    const Buffer buf = encode_response(resp);
+    EXPECT_EQ(buf.size(), response_wire_size(resp));
+    const auto decoded = decode_response(buf);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->status, status);
+    EXPECT_EQ(decoded->op_id, resp.op_id);
+    EXPECT_FALSE(decoded->hit);
+    EXPECT_DOUBLE_EQ(decoded->d_hat_us, resp.d_hat_us);
+    EXPECT_DOUBLE_EQ(decoded->mu_hat, resp.mu_hat);
+    // The status extension is one trailing byte past the kOk image.
+    OpResponse ok = resp;
+    ok.status = OpStatus::kOk;
+    EXPECT_EQ(buf.size(), encode_response(ok).size() + 1);
+  }
+}
+
+TEST(Wire, OkResponseCarriesNoStatusByte) {
+  Rng rng{7};
+  OpResponse resp = random_response(rng);
+  const Buffer buf = encode_response(resp);
+  EXPECT_EQ(buf.size(), response_wire_size(resp));
+  const auto decoded = decode_response(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, OpStatus::kOk);
+  // A non-canonical kOk-with-trailing-byte image is rejected outright, so
+  // there is exactly one wire image per response. Rewrite the status byte
+  // (just before the 4-byte trailer) to kOk and reseal the checksum so the
+  // canonical-form check itself, not the checksum, does the rejecting.
+  OpResponse shed = resp;
+  shed.hit = false;
+  shed.value_size = 0;
+  shed.status = OpStatus::kBusy;
+  Buffer padded = encode_response(shed);
+  padded[padded.size() - 5] = 0;
+  const std::uint32_t sum = fletcher32(padded.data(), padded.size() - 4);
+  for (int i = 0; i < 4; ++i)
+    padded[padded.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sum >> (8 * i));
+  EXPECT_FALSE(decode_response(padded).has_value());
 }
 
 TEST(Wire, ProgressRoundTrip) {

@@ -14,4 +14,20 @@ class Leaf : public Mid {  // BAD: new state, inherited non-final audit
   int extra_ = 0;
 };
 
+/// The overload-layer trap: a specialised guard that grows its own shed
+/// counter on top of an audited base. The base's audit checks ITS counters;
+/// the new one is invisible to audits unless the subclass overrides too.
+class GuardBase : public das::Auditable {
+ public:
+  void check_invariants() const override {}
+
+ private:
+  unsigned long long rejected_busy_ = 0;
+};
+
+class TenantGuard : public GuardBase {  // BAD: new counter, inherited audit
+ public:
+  unsigned long long tenant_shed_ = 0;
+};
+
 }  // namespace fix

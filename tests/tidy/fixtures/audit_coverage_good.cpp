@@ -36,4 +36,26 @@ class StillAbstract : public das::Auditable {
   virtual void extra_hook() const = 0;
 };
 
+/// The overload-layer shapes (src/overload): counter-carrying guards and
+/// per-tenant controllers are Auditable leaves with their own audits.
+class QueueGuardLike final : public das::Auditable {
+ public:
+  void check_invariants() const override {}
+
+ private:
+  unsigned long long rejected_busy_ = 0;
+  unsigned long long dropped_sojourn_ = 0;
+  unsigned long long expired_ = 0;
+};
+
+class AdmissionLike final : public das::Auditable {
+ public:
+  void check_invariants() const override {}
+
+ private:
+  double rate_ = 1.0;
+  unsigned long long admitted_ = 0;
+  unsigned long long refused_ = 0;
+};
+
 }  // namespace fix

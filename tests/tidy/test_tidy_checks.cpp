@@ -125,8 +125,9 @@ TEST_F(TidyCheck, NoStdFunctionHotPath) {
 }
 
 TEST_F(TidyCheck, AuditCoverage) {
-  // Exactly one offender: Leaf.
-  expect_flags("das-audit-coverage", 1);
+  // Two offenders: Leaf, and the overload-shaped TenantGuard (new counter
+  // on an audited guard base without its own override).
+  expect_flags("das-audit-coverage", 2);
 }
 
 }  // namespace

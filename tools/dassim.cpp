@@ -5,6 +5,8 @@
 //   ./build/tools/dassim --policy=das,fcfs --stragglers=0.25 --straggler-speed=0.5
 //   ./build/tools/dassim --sweep --jobs=4 --json=BENCH_sweep.json
 //   ./build/tools/dassim --policy=das --trace=trace.json --breakdown
+//   ./build/tools/dassim --policy=das --load=1.2 --queue-cap=64 \
+//       --deadline-ms=20 --admission
 //   ./build/tools/dassim --perf --perf-json=BENCH_PERF.json
 //
 // Prints one row per policy; --format=csv emits machine-readable output for
@@ -28,6 +30,7 @@
 #include "core/perf.hpp"
 #include "core/sweep.hpp"
 #include "fault/fault_plan.hpp"
+#include "overload/overload.hpp"
 #include "select/selector.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/tracer.hpp"
@@ -175,7 +178,8 @@ int main(int argc, char** argv) {
   flags.define("servers", "32", "number of store servers");
   flags.define("clients", "8", "number of front-end clients");
   flags.define("keys-per-server", "1000", "keyspace size per server");
-  flags.define("load", "0.7", "target utilisation in (0,1)");
+  flags.define("load", "0.7",
+               "target utilisation; > 1 drives deliberate overload (E22)");
   flags.define("calibration", "average",
                "load calibration: 'average' capacity or 'hottest' server");
   flags.define("theta", "0", "Zipf key-popularity skew (0 = uniform)");
@@ -220,6 +224,17 @@ int main(int argc, char** argv) {
   flags.define("chaos-seed", "1", "seed of the chaos fault generator");
   flags.define("hedge-ms", "0",
                "hedged-read delay in ms (0 = off; needs --replication >= 2)");
+  flags.define("queue-cap", "0",
+               "bounded server queues: max ops queued per server (0 = off)");
+  flags.define("overload-policy", "reject-new",
+               "bounded-queue shed policy: reject-new | sojourn-drop");
+  flags.define("sojourn-us", "0",
+               "sojourn-drop threshold in us (0 derives 2x the deadline "
+               "budget, else 10ms)");
+  flags.define("deadline-ms", "0",
+               "end-to-end request deadline budget in ms (0 = off)");
+  flags.define("admission", "false",
+               "client-side AIMD admission control driven by BUSY/expiry");
   flags.define("preemptive", "false",
                "preempt-resume service (oracle upper bound)");
   flags.define("write-fraction", "0",
@@ -366,6 +381,16 @@ int main(int argc, char** argv) {
   cfg.suspicion_rto_threshold =
       static_cast<std::uint32_t>(flags.get_int("suspicion-rtos"));
   cfg.hedge_delay_us = flags.get_double("hedge-ms") * kMillisecond;
+  cfg.overload.queue_cap = static_cast<std::size_t>(flags.get_int("queue-cap"));
+  if (!overload::policy_from_string(flags.get_string("overload-policy"),
+                                    cfg.overload.reject_policy)) {
+    std::cerr << "unknown --overload-policy: "
+              << flags.get_string("overload-policy") << "\n";
+    return 2;
+  }
+  cfg.overload.sojourn_threshold_us = flags.get_double("sojourn-us");
+  cfg.overload.deadline_budget_us = flags.get_double("deadline-ms") * kMillisecond;
+  cfg.overload.admission = flags.get_bool("admission");
   cfg.preemptive_service = flags.get_bool("preemptive");
   cfg.write_fraction = flags.get_double("write-fraction");
   if (!core::store_model_from_string(flags.get_string("store"), cfg.store_model)) {
@@ -584,6 +609,27 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   };
 
+  // Overload-layer accounting, shown whenever any protection is on. Goodput
+  // vs throughput is the headline: how much of the settled work completed
+  // in time, and how much capacity went to shedding/waste instead.
+  const auto print_overload = [&runs] {
+    Table table{{"policy", "goodput rps", "throughput rps", "shed", "admission",
+                 "expired", "busy", "sojourn", "op-expired", "wasted (ms)"}};
+    for (const auto& [policy, r] : runs) {
+      table.add_row({sched::to_string(policy), Table::fmt(r.goodput_rps, 0),
+                     Table::fmt(r.throughput_rps, 0),
+                     std::to_string(r.requests_shed),
+                     std::to_string(r.requests_shed_admission),
+                     std::to_string(r.requests_expired),
+                     std::to_string(r.ops_rejected_busy),
+                     std::to_string(r.ops_shed_sojourn),
+                     std::to_string(r.ops_expired_dropped),
+                     Table::fmt(r.wasted_service_us / 1000.0, 1)});
+    }
+    std::cout << "== overload control ==\n";
+    table.print(std::cout);
+  };
+
   if (format == "csv") {
     std::cout << "policy,requests,mean_rct_us,p50_us,p95_us,p99_us,p999_us,"
                  "mean_util,max_util,net_msgs,progress_msgs\n";
@@ -597,6 +643,7 @@ int main(int argc, char** argv) {
     if (flags.get_bool("breakdown")) print_breakdown();
     if (have_tenants) print_tenants();
     if (!cfg.fault_plan.empty()) print_degradation();
+    if (cfg.overload.enabled()) print_overload();
     return 0;
   }
   if (format != "table") {
@@ -619,5 +666,6 @@ int main(int argc, char** argv) {
   if (flags.get_bool("breakdown")) print_breakdown();
   if (have_tenants) print_tenants();
   if (!cfg.fault_plan.empty()) print_degradation();
+  if (cfg.overload.enabled()) print_overload();
   return 0;
 }
